@@ -1,0 +1,62 @@
+"""Optional paper-scale runs (opt-in: set ``REPRO_PAPER_SCALE=1``).
+
+The regular benchmark suite runs the evaluation at ~10% of the paper's
+database sizes so it finishes in minutes of pure Python.  This module
+executes one representative Table 5/7 cell per dataset at full paper
+scale (quest: 100k transactions; shop14: 41 days; twitter: 123 days) —
+expect several minutes per cell — and records the measurements so
+EXPERIMENTS.md can quote full-scale numbers.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.workloads import (
+    clickstream_workload,
+    quest_workload,
+    twitter_workload,
+)
+from repro.core.rp_growth import RPGrowth
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_PAPER_SCALE") != "1",
+    reason="paper-scale runs are opt-in: set REPRO_PAPER_SCALE=1",
+)
+
+CELLS = [
+    ("quest", quest_workload, 360, 0.002, 1),
+    ("shop14", clickstream_workload, 1440, 0.002, 2),
+    ("twitter", twitter_workload, 360, 0.02, 1),
+]
+
+
+@pytest.mark.parametrize(
+    "dataset,workload,per,min_ps,min_rec",
+    CELLS,
+    ids=[c[0] for c in CELLS],
+)
+def test_paper_scale_cell(
+    dataset, workload, per, min_ps, min_rec, benchmark, record_artifact
+):
+    db = workload(1.0)
+    miner = RPGrowth(per, min_ps, min_rec)
+    found = benchmark.pedantic(miner.mine, args=(db,), rounds=1, iterations=1)
+    record_artifact(
+        f"paper_scale_{dataset}",
+        format_table(
+            ["metric", "value"],
+            [
+                ("transactions", len(db)),
+                ("items", len(db.items())),
+                ("per", per),
+                ("minPS", min_ps),
+                ("minRec", min_rec),
+                ("patterns", len(found)),
+                ("max length", found.max_length()),
+            ],
+            title=f"{dataset} at paper scale",
+        ),
+    )
+    assert len(found) > 0

@@ -1,0 +1,52 @@
+"""Scalability E-A3: runtime vs database size (supports the paper's
+"our algorithm is efficient" claim).
+
+RP-growth is run on Quest databases of growing size at fixed relative
+thresholds; runtime should grow roughly linearly (the algorithm scans
+the database twice and the tree work is bounded by the candidate
+projections).  We assert sub-quadratic growth, which is robust to
+timing noise.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.workloads import quest_workload
+from repro.core.rp_growth import RPGrowth
+
+SIZES = (0.02, 0.05, 0.1, 0.2)  # fraction of the paper's 100k transactions
+
+
+@pytest.mark.parametrize("scale", SIZES, ids=[f"scale{s}" for s in SIZES])
+def test_scalability_cell(scale, benchmark):
+    db = quest_workload(scale)
+    miner = RPGrowth(per=360, min_ps=0.002, min_rec=1)
+    benchmark(miner.mine, db)
+
+
+def test_scalability_curve(benchmark, record_artifact):
+    def run():
+        rows = []
+        for scale in SIZES:
+            db = quest_workload(scale)
+            started = time.perf_counter()
+            found = RPGrowth(per=360, min_ps=0.002, min_rec=1).mine(db)
+            rows.append((len(db), len(found), time.perf_counter() - started))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_artifact(
+        "scalability_quest",
+        format_table(
+            ["transactions", "patterns", "seconds"],
+            rows,
+            title="RP-growth scalability (per=360, minPS=0.2%, minRec=1)",
+        ),
+    )
+    smallest_n, _, smallest_t = rows[0]
+    largest_n, _, largest_t = rows[-1]
+    ratio_n = largest_n / smallest_n
+    ratio_t = largest_t / max(smallest_t, 1e-9)
+    assert ratio_t < ratio_n ** 2, (ratio_n, ratio_t)

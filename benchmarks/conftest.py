@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one of the paper's evaluation artefacts
+(a table or a figure).  Besides the pytest-benchmark timing, every
+bench writes the reproduced artefact as plain text under
+``benchmarks/results/`` so the numbers can be inspected and pasted into
+EXPERIMENTS.md.
+
+Scales (fraction of the paper's database sizes) are chosen so the whole
+suite runs in minutes on a laptop; see workloads.py for the mapping.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.workloads import (
+    clickstream_workload,
+    quest_workload,
+    twitter_workload,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Benchmark scales per dataset (fraction of paper scale).
+QUEST_SCALE = 0.1  # 10k transactions (paper: 100k)
+SHOP14_SCALE = 0.25  # 10 days (paper: 41)
+TWITTER_SCALE = 0.1  # 12 days (paper: 123)
+
+
+@pytest.fixture(scope="session")
+def quest_db():
+    return quest_workload(QUEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def shop14_db():
+    return clickstream_workload(SHOP14_SCALE)
+
+
+@pytest.fixture(scope="session")
+def twitter_db():
+    return twitter_workload(TWITTER_SCALE)
+
+
+@pytest.fixture(scope="session")
+def record_artifact():
+    """Write a reproduced table/figure to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return write

@@ -1,0 +1,88 @@
+"""repro — recurring pattern mining in time series.
+
+A production-quality reproduction of *"Discovering Recurring Patterns
+in Time Series"* (R. U. Kiran, H. Shang, M. Toyoda, M. Kitsuregawa,
+EDBT 2015): the recurring-pattern model (periodic-intervals,
+periodic-support, recurrence), the RP-growth algorithm with the Erec
+pruning bound, the baselines the paper compares against
+(periodic-frequent patterns, Ma & Hellerstein p-patterns), and
+synthetic stand-ins for the paper's workloads.
+
+Quickstart
+----------
+>>> from repro import mine_recurring_patterns
+>>> from repro.datasets import paper_running_example
+>>> found = mine_recurring_patterns(
+...     paper_running_example(), per=2, min_ps=3, min_rec=2)
+>>> len(found)
+8
+"""
+
+from repro.core.condensed import (
+    closed_patterns,
+    maximal_patterns,
+    top_k_patterns,
+)
+from repro.core.miner import mine_recurring_patterns
+from repro.core.model import (
+    MiningParameters,
+    PeriodicInterval,
+    RecurringPattern,
+    RecurringPatternSet,
+)
+from repro.core.naive import mine_recurring_patterns_naive
+from repro.core.noise import NoiseTolerantMiner, mine_noise_tolerant_patterns
+from repro.core.periods import suggest_per
+from repro.core.rp_eclat import RPEclat
+from repro.core.rp_growth import MiningStats, RPGrowth
+from repro.core.rules import RecurringRule, SeasonalRecommender, derive_rules
+from repro.core.streaming import StreamingRecurrenceMonitor
+from repro.core.targeted import mine_patterns_containing
+from repro.exceptions import (
+    DataFormatError,
+    EmptyDatabaseError,
+    ParameterError,
+    ReproError,
+    SearchSpaceError,
+)
+from repro.timeseries.database import Transaction, TransactionalDatabase
+from repro.timeseries.events import Event, EventSequence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Core mining
+    "mine_recurring_patterns",
+    "mine_recurring_patterns_naive",
+    "RPGrowth",
+    "RPEclat",
+    "MiningStats",
+    "MiningParameters",
+    "RecurringPattern",
+    "RecurringPatternSet",
+    "PeriodicInterval",
+    # Extensions
+    "mine_noise_tolerant_patterns",
+    "NoiseTolerantMiner",
+    "closed_patterns",
+    "maximal_patterns",
+    "top_k_patterns",
+    "RecurringRule",
+    "SeasonalRecommender",
+    "derive_rules",
+    "StreamingRecurrenceMonitor",
+    "suggest_per",
+    "mine_patterns_containing",
+    # Data model
+    "Event",
+    "EventSequence",
+    "Transaction",
+    "TransactionalDatabase",
+    # Errors
+    "ReproError",
+    "ParameterError",
+    "DataFormatError",
+    "EmptyDatabaseError",
+    "SearchSpaceError",
+]

@@ -1,0 +1,83 @@
+"""Shared parameter-validation helpers.
+
+These helpers centralise the small amount of defensive checking the
+public mining functions perform, so every entry point reports the same
+error messages for the same mistakes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from repro.exceptions import ParameterError
+
+Number = Union[int, float]
+
+__all__ = [
+    "Number",
+    "check_positive",
+    "check_non_negative",
+    "check_count",
+    "resolve_count_threshold",
+]
+
+
+def check_positive(value: Number, name: str) -> Number:
+    """Return ``value`` if it is a finite number > 0, else raise."""
+    _check_finite_number(value, name)
+    if value <= 0:
+        raise ParameterError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: Number, name: str) -> Number:
+    """Return ``value`` if it is a finite number >= 0, else raise."""
+    _check_finite_number(value, name)
+    if value < 0:
+        raise ParameterError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_count(value: int, name: str, minimum: int = 1) -> int:
+    """Return ``value`` if it is an integer >= ``minimum``, else raise."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ParameterError(f"{name} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ParameterError(f"{name} must be >= {minimum}, got {value!r}")
+    return value
+
+
+def resolve_count_threshold(value: Number, name: str, total: int) -> int:
+    """Resolve a support-like threshold to an absolute count.
+
+    The paper notes that support, periodic-support and similar measures
+    "can also be expressed in percentage of |TDB|".  Following that
+    convention:
+
+    * an ``int`` is taken as an absolute count and must be >= 1;
+    * a ``float`` in ``(0, 1]`` is taken as a fraction of ``total`` and
+      resolved with ``ceil`` (the smallest count that satisfies the
+      fraction), but never below 1;
+    * any other value raises :class:`ParameterError`.
+    """
+    if isinstance(value, bool):
+        raise ParameterError(f"{name} must be a count or fraction, got {value!r}")
+    if isinstance(value, int):
+        return check_count(value, name)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ParameterError(f"{name} must be finite, got {value!r}")
+        if not 0 < value <= 1:
+            raise ParameterError(
+                f"fractional {name} must be in (0, 1], got {value!r}"
+            )
+        return max(1, math.ceil(value * total))
+    raise ParameterError(f"{name} must be an int or float, got {value!r}")
+
+
+def _check_finite_number(value: Number, name: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ParameterError(f"{name} must be a number, got {value!r}")
+    if not math.isfinite(value):
+        raise ParameterError(f"{name} must be finite, got {value!r}")

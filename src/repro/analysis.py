@@ -1,0 +1,201 @@
+"""Post-mining analysis of recurring patterns' temporal structure.
+
+Recurring patterns carry *when* they fire; this module turns that into
+answers to the questions the paper's applications actually ask:
+
+* :func:`interval_coverage` — what fraction of a time range does a
+  pattern behave periodically in?
+* :func:`temporal_overlap` — Jaccard overlap between two patterns'
+  periodic time (do they burst together?);
+* :func:`co_seasonal_groups` — cluster patterns whose seasons overlap
+  (the Table 6 story: `#oklahoma`, `#tornado` and `#prayforoklahoma`
+  belong to one event even before anyone reads the tag names);
+* :func:`seasonality_score` — how concentrated a pattern's occurrences
+  are inside its interesting intervals (1.0 = perfectly seasonal,
+  like `#uttarakhand`; low = background-ish).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro._validation import check_non_negative
+from repro.core.model import PeriodicInterval, RecurringPattern
+from repro.exceptions import ParameterError
+from repro.timeseries.database import TransactionalDatabase
+
+__all__ = [
+    "interval_coverage",
+    "temporal_overlap",
+    "co_seasonal_groups",
+    "seasonality_score",
+]
+
+Span = Tuple[float, float]
+
+
+def _merge_spans(spans: Iterable[Span]) -> List[Span]:
+    """Union of closed intervals as a sorted list of disjoint spans."""
+    ordered = sorted(spans)
+    merged: List[Span] = []
+    for start, end in ordered:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _total_length(spans: Sequence[Span]) -> float:
+    return sum(end - start for start, end in spans)
+
+
+def _intersect_length(left: Sequence[Span], right: Sequence[Span]) -> float:
+    total = 0.0
+    i = j = 0
+    while i < len(left) and j < len(right):
+        start = max(left[i][0], right[j][0])
+        end = min(left[i][1], right[j][1])
+        if start < end:
+            total += end - start
+        if left[i][1] < right[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+def _pattern_spans(pattern: RecurringPattern) -> List[Span]:
+    return _merge_spans(
+        (interval.start, interval.end) for interval in pattern.intervals
+    )
+
+
+def interval_coverage(
+    pattern: RecurringPattern, start: float, end: float
+) -> float:
+    """Fraction of ``[start, end]`` covered by the pattern's intervals.
+
+    Examples
+    --------
+    >>> from repro.core.model import PeriodicInterval, RecurringPattern
+    >>> p = RecurringPattern(frozenset("x"), 6, (
+    ...     PeriodicInterval(0, 5, 3), PeriodicInterval(15, 20, 3)))
+    >>> interval_coverage(p, 0, 20)
+    0.5
+    """
+    if end <= start:
+        raise ParameterError(f"end {end} must exceed start {start}")
+    clipped = [
+        (max(s, start), min(e, end))
+        for s, e in _pattern_spans(pattern)
+        if min(e, end) > max(s, start)
+    ]
+    return _total_length(clipped) / (end - start)
+
+
+def temporal_overlap(
+    left: RecurringPattern, right: RecurringPattern
+) -> float:
+    """Jaccard overlap of the two patterns' periodic time.
+
+    1.0 means identical seasons; 0.0 means disjoint.  Zero-length
+    (single-occurrence) interval unions make the measure undefined and
+    return 0.0.
+
+    Examples
+    --------
+    >>> from repro.core.model import PeriodicInterval, RecurringPattern
+    >>> a = RecurringPattern(frozenset("a"), 4, (PeriodicInterval(0, 10, 4),))
+    >>> b = RecurringPattern(frozenset("b"), 4, (PeriodicInterval(5, 15, 4),))
+    >>> temporal_overlap(a, b)  # 5 units shared of 15 total
+    0.3333333333333333
+    """
+    left_spans = _pattern_spans(left)
+    right_spans = _pattern_spans(right)
+    intersection = _intersect_length(left_spans, right_spans)
+    union = (
+        _total_length(left_spans)
+        + _total_length(right_spans)
+        - intersection
+    )
+    if union <= 0:
+        return 0.0
+    return intersection / union
+
+
+def co_seasonal_groups(
+    patterns: Iterable[RecurringPattern],
+    min_overlap: float = 0.5,
+) -> List[List[RecurringPattern]]:
+    """Group patterns whose seasons overlap by at least ``min_overlap``.
+
+    Connected components under the pairwise
+    :func:`temporal_overlap` >= ``min_overlap`` relation, computed with
+    union-find.  Groups come back largest-first, members in
+    deterministic item order.
+
+    Examples
+    --------
+    >>> from repro.core.model import PeriodicInterval, RecurringPattern
+    >>> storm = [
+    ...     RecurringPattern(frozenset((tag,)), 4, (PeriodicInterval(0, 10, 4),))
+    ...     for tag in ("tornado", "oklahoma")]
+    >>> flood = [RecurringPattern(
+    ...     frozenset(("yyc",)), 4, (PeriodicInterval(100, 120, 4),))]
+    >>> groups = co_seasonal_groups(storm + flood)
+    >>> [len(group) for group in groups]
+    [2, 1]
+    """
+    if not 0 <= min_overlap <= 1:
+        raise ParameterError(
+            f"min_overlap must be in [0, 1], got {min_overlap!r}"
+        )
+    members = list(patterns)
+    parent = list(range(len(members)))
+
+    def find(node: int) -> int:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(a: int, b: int) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    for i in range(len(members)):
+        for j in range(i + 1, len(members)):
+            if temporal_overlap(members[i], members[j]) >= min_overlap:
+                union(i, j)
+
+    groups: Dict[int, List[RecurringPattern]] = {}
+    for index, pattern in enumerate(members):
+        groups.setdefault(find(index), []).append(pattern)
+    ordered = [
+        sorted(group, key=lambda p: p.sorted_items())
+        for group in groups.values()
+    ]
+    ordered.sort(key=lambda group: (-len(group), group[0].sorted_items()))
+    return ordered
+
+
+def seasonality_score(
+    pattern: RecurringPattern, database: TransactionalDatabase
+) -> float:
+    """Fraction of the pattern's occurrences inside interesting intervals.
+
+    1.0 — every occurrence sits in an interesting periodic-interval
+    (purely seasonal, like a planted burst); values near the intervals'
+    share of the time axis — background behaviour.
+    """
+    timestamps = database.timestamps_of(pattern.items)
+    if not timestamps:
+        return 0.0
+    inside = sum(
+        1
+        for ts in timestamps
+        if any(iv.start <= ts <= iv.end for iv in pattern.intervals)
+    )
+    return inside / len(timestamps)

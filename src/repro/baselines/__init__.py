@@ -1,0 +1,52 @@
+"""Baseline pattern-mining algorithms the paper compares against.
+
+* :mod:`repro.baselines.fp_growth` — FP-growth frequent-itemset mining
+  (Han et al. 2004), the substrate RP-growth's tree machinery descends
+  from;
+* :mod:`repro.baselines.apriori` — level-wise Apriori (Agrawal et al.
+  1993), the substrate of periodic-first p-pattern mining;
+* :mod:`repro.baselines.pf_growth` — periodic-frequent patterns
+  (Tanbeer et al. 2009, PF-growth++ semantics of Kiran & Kitsuregawa
+  2014);
+* :mod:`repro.baselines.ppattern` — Ma & Hellerstein's p-patterns
+  (ICDE 2001), periodic-first algorithm, including chi-square period
+  detection in :mod:`repro.baselines.period_detection`.
+"""
+
+from repro.baselines.apriori import mine_frequent_patterns_apriori
+from repro.baselines.async_periodic import (
+    AsyncPeriodicPattern,
+    mine_async_periodic_patterns,
+)
+from repro.baselines.fp_growth import mine_frequent_patterns
+from repro.baselines.model import (
+    FrequentPattern,
+    PatternCollection,
+    PeriodicFrequentPattern,
+    PPattern,
+)
+from repro.baselines.partial_periodic import (
+    PartialPeriodicPattern,
+    mine_partial_periodic_patterns,
+)
+from repro.baselines.period_detection import detect_periods
+from repro.baselines.pf_growth import mine_periodic_frequent_patterns
+from repro.baselines.pf_tree import mine_periodic_frequent_patterns_tree
+from repro.baselines.ppattern import mine_p_patterns
+
+__all__ = [
+    "FrequentPattern",
+    "PeriodicFrequentPattern",
+    "PPattern",
+    "PartialPeriodicPattern",
+    "AsyncPeriodicPattern",
+    "PatternCollection",
+    "mine_frequent_patterns",
+    "mine_frequent_patterns_apriori",
+    "mine_periodic_frequent_patterns",
+    "mine_periodic_frequent_patterns_tree",
+    "mine_p_patterns",
+    "mine_partial_periodic_patterns",
+    "mine_async_periodic_patterns",
+    "detect_periods",
+]

@@ -1,0 +1,116 @@
+"""Level-wise Apriori frequent-itemset mining (Agrawal et al., 1993).
+
+Kept deliberately textbook: candidate generation by joining frequent
+(k−1)-itemsets sharing a (k−2)-prefix, the subset-pruning step, and a
+counting pass per level.  Used as the association machinery of the
+periodic-first p-pattern miner (the paper notes p-pattern mining has
+only Apriori-like algorithms) and as an independent oracle for the
+FP-growth tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from repro._validation import resolve_count_threshold
+from repro.baselines.model import FrequentPattern, PatternCollection
+from repro.timeseries.database import TransactionalDatabase
+from repro.timeseries.events import Item
+
+__all__ = ["mine_frequent_patterns_apriori", "generate_candidates"]
+
+
+def mine_frequent_patterns_apriori(
+    database: TransactionalDatabase,
+    min_sup: Union[int, float],
+    max_length: Optional[int] = None,
+) -> PatternCollection[FrequentPattern]:
+    """Mine all frequent itemsets with Apriori.
+
+    Parameters mirror
+    :func:`~repro.baselines.fp_growth.mine_frequent_patterns`, whose
+    output this function must equal on every input (tested).
+
+    Examples
+    --------
+    >>> from repro.datasets import paper_running_example
+    >>> frequent = mine_frequent_patterns_apriori(
+    ...     paper_running_example(), 7)
+    >>> sorted("".join(sorted(p.items)) for p in frequent)
+    ['a', 'ab', 'b', 'c']
+    """
+    if len(database) == 0:
+        return PatternCollection()
+    threshold = resolve_count_threshold(min_sup, "min_sup", len(database))
+
+    found: List[FrequentPattern] = []
+    current: Dict[FrozenSet[Item], int] = {
+        frozenset((item,)): len(ts)
+        for item, ts in database.item_timestamps().items()
+        if len(ts) >= threshold
+    }
+    level = 1
+    while current:
+        found.extend(
+            FrequentPattern(items, support)
+            for items, support in current.items()
+        )
+        if max_length is not None and level >= max_length:
+            break
+        candidates = generate_candidates(set(current))
+        if not candidates:
+            break
+        counts = _count_candidates(database, candidates)
+        current = {
+            items: support
+            for items, support in counts.items()
+            if support >= threshold
+        }
+        level += 1
+    return PatternCollection(found)
+
+
+def generate_candidates(
+    frequent: Set[FrozenSet[Item]],
+) -> Set[FrozenSet[Item]]:
+    """Join step + prune step of Apriori.
+
+    Two frequent k-itemsets sharing k−1 items join into a (k+1)-itemset
+    candidate; a candidate survives only if *all* its k-subsets are
+    frequent.
+    """
+    if not frequent:
+        return set()
+    size = len(next(iter(frequent)))
+    # Join: group by sorted (k-1)-prefix.
+    buckets: Dict[Tuple[Item, ...], List[Tuple[Item, ...]]] = {}
+    for itemset in frequent:
+        ordered = tuple(sorted(itemset, key=repr))
+        buckets.setdefault(ordered[:-1], []).append(ordered)
+    candidates: Set[FrozenSet[Item]] = set()
+    for members in buckets.values():
+        for left, right in combinations(members, 2):
+            candidate = frozenset(left) | frozenset(right)
+            if len(candidate) != size + 1:
+                continue
+            if all(
+                frozenset(subset) in frequent
+                for subset in combinations(
+                    sorted(candidate, key=repr), size
+                )
+            ):
+                candidates.add(candidate)
+    return candidates
+
+
+def _count_candidates(
+    database: TransactionalDatabase,
+    candidates: Set[FrozenSet[Item]],
+) -> Dict[FrozenSet[Item], int]:
+    counts: Dict[FrozenSet[Item], int] = dict.fromkeys(candidates, 0)
+    for _, itemset in database:
+        for candidate in candidates:
+            if candidate <= itemset:
+                counts[candidate] += 1
+    return counts

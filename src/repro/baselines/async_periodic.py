@@ -1,0 +1,229 @@
+"""Asynchronous periodic patterns (Yang, Wang & Yu, TKDE 2003).
+
+The related work the paper singles out as closest to recurring
+patterns: a pattern in a *symbolic sequence* that repeats with period
+``p`` in *valid segments* (at least ``min_rep`` back-to-back perfect
+repetitions) which may be separated by bounded noise (*disturbance* of
+at most ``max_dis`` positions), possibly shifting phase across the
+disturbance.  The mined object is the **longest valid subsequence** —
+the chain of valid segments maximising total repetitions.
+
+The paper's criticism, which the tests demonstrate: the model works on
+sequence positions, not timestamps, so it cannot distinguish a one-hour
+from a one-week silence between occurrences — information the
+recurring-pattern model keeps.
+
+Implementation notes: for a fixed ``period`` the occurrence positions
+of a pattern decompose uniquely into maximal arithmetic runs of step
+``period``; runs of length >= ``min_rep`` are the valid segments, and a
+quadratic DP chains them under the disturbance bound.  Itemset patterns
+are searched level-wise — the longest-valid-subsequence measure is
+anti-monotone because a superset's positions are a subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple, Union
+
+from repro._validation import check_count
+from repro.baselines.apriori import generate_candidates
+from repro.baselines.partial_periodic import database_to_symbolic_sequence
+from repro.timeseries.database import TransactionalDatabase
+from repro.timeseries.events import Item
+
+__all__ = [
+    "Segment",
+    "AsyncPeriodicPattern",
+    "longest_valid_subsequence",
+    "mine_async_periodic_patterns",
+]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One valid segment: ``repetitions`` occurrences at
+    ``start, start + period, …, end``."""
+
+    start: int
+    end: int
+    repetitions: int
+
+
+@dataclass(frozen=True)
+class AsyncPeriodicPattern:
+    """An itemset with its longest valid subsequence at one period."""
+
+    items: FrozenSet[Item]
+    period: int
+    repetitions: int
+    segments: Tuple[Segment, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.items)
+
+    def sorted_items(self) -> Tuple[Item, ...]:
+        """Items in deterministic (repr-sorted) display order."""
+        return tuple(sorted(self.items, key=repr))
+
+    def __str__(self) -> str:
+        items = "".join(str(item) for item in self.sorted_items())
+        chain = ", ".join(
+            f"[{s.start}..{s.end}]x{s.repetitions}" for s in self.segments
+        )
+        return (
+            f"{items} [period={self.period}, reps={self.repetitions}, "
+            f"{{{chain}}}]"
+        )
+
+
+def longest_valid_subsequence(
+    positions: Sequence[int],
+    period: int,
+    min_rep: int,
+    max_dis: int,
+) -> Tuple[int, Tuple[Segment, ...]]:
+    """The longest valid subsequence of an occurrence-position list.
+
+    Parameters
+    ----------
+    positions:
+        Strictly increasing positions where the pattern occurs.
+    period:
+        The repetition period (in positions).
+    min_rep:
+        Minimum perfect repetitions per valid segment.
+    max_dis:
+        Maximum number of positions strictly between two chained
+        segments (the disturbance).
+
+    Returns
+    -------
+    ``(total_repetitions, segments)``; ``(0, ())`` when no valid
+    segment exists.
+
+    Examples
+    --------
+    >>> longest_valid_subsequence([0, 3, 6, 13, 16, 19], 3, 2, 10)
+    (6, (Segment(start=0, end=6, repetitions=3), \
+Segment(start=13, end=19, repetitions=3)))
+    >>> longest_valid_subsequence([0, 3, 6], 3, 4, 0)
+    (0, ())
+    """
+    check_count(period, "period")
+    check_count(min_rep, "min_rep")
+    check_count(max_dis, "max_dis", minimum=0)
+    segments = _valid_segments(positions, period, min_rep)
+    if not segments:
+        return 0, ()
+    # DP over segments in start order: best chain ending at each.
+    best: List[int] = [segment.repetitions for segment in segments]
+    parent: List[int] = [-1] * len(segments)
+    for index, segment in enumerate(segments):
+        for earlier in range(index):
+            previous = segments[earlier]
+            disturbance = segment.start - previous.end - 1
+            if 0 <= disturbance <= max_dis:
+                candidate = best[earlier] + segment.repetitions
+                if candidate > best[index]:
+                    best[index] = candidate
+                    parent[index] = earlier
+    winner = max(range(len(segments)), key=lambda i: (best[i], -segments[i].start))
+    chain: List[Segment] = []
+    cursor = winner
+    while cursor != -1:
+        chain.append(segments[cursor])
+        cursor = parent[cursor]
+    chain.reverse()
+    return best[winner], tuple(chain)
+
+
+def _valid_segments(
+    positions: Sequence[int], period: int, min_rep: int
+) -> List[Segment]:
+    """Maximal arithmetic runs of step ``period`` with enough reps."""
+    segments: List[Segment] = []
+    position_set = set(positions)
+    for position in sorted(position_set):
+        if position - period in position_set:
+            continue  # not a run head
+        length = 1
+        cursor = position
+        while cursor + period in position_set:
+            cursor += period
+            length += 1
+        if length >= min_rep:
+            segments.append(Segment(position, cursor, length))
+    segments.sort(key=lambda segment: segment.start)
+    return segments
+
+
+def mine_async_periodic_patterns(
+    sequence_or_database: Union[
+        Sequence[FrozenSet[Item]], TransactionalDatabase
+    ],
+    period: int,
+    min_rep: int,
+    max_dis: int,
+    max_length: int = 3,
+) -> List[AsyncPeriodicPattern]:
+    """Mine all asynchronous periodic itemset patterns at one period.
+
+    A pattern qualifies when it has at least one valid segment (its
+    longest valid subsequence is non-empty).  Results are sorted by
+    (length, items).
+
+    Examples
+    --------
+    >>> seq = [frozenset("ab"), frozenset("c")] * 5
+    >>> [str(p) for p in mine_async_periodic_patterns(seq, 2, 3, 0)
+    ...  if p.length == 2]
+    ['ab [period=2, reps=5, {[0..8]x5}]']
+    """
+    check_count(max_length, "max_length")
+    if isinstance(sequence_or_database, TransactionalDatabase):
+        sequence = database_to_symbolic_sequence(sequence_or_database)
+    else:
+        sequence = list(sequence_or_database)
+
+    positions_of: Dict[FrozenSet[Item], List[int]] = {}
+    for position, itemset in enumerate(sequence):
+        for item in itemset:
+            positions_of.setdefault(frozenset((item,)), []).append(position)
+
+    found: List[AsyncPeriodicPattern] = []
+    current: Set[FrozenSet[Item]] = set()
+    for singleton, positions in positions_of.items():
+        repetitions, segments = longest_valid_subsequence(
+            positions, period, min_rep, max_dis
+        )
+        if repetitions:
+            found.append(
+                AsyncPeriodicPattern(singleton, period, repetitions, segments)
+            )
+            current.add(singleton)
+
+    level = 1
+    while current and level < max_length:
+        candidates = generate_candidates(current)
+        current = set()
+        for candidate in candidates:
+            positions = [
+                position
+                for position, itemset in enumerate(sequence)
+                if candidate <= itemset
+            ]
+            repetitions, segments = longest_valid_subsequence(
+                positions, period, min_rep, max_dis
+            )
+            if repetitions:
+                found.append(
+                    AsyncPeriodicPattern(
+                        candidate, period, repetitions, segments
+                    )
+                )
+                current.add(candidate)
+        level += 1
+    found.sort(key=lambda pattern: (pattern.length, pattern.sorted_items()))
+    return found

@@ -1,0 +1,196 @@
+"""Result types shared by the baseline miners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Generic,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+from repro.timeseries.events import Item
+
+__all__ = [
+    "FrequentPattern",
+    "PeriodicFrequentPattern",
+    "PPattern",
+    "PatternCollection",
+]
+
+
+@dataclass(frozen=True)
+class FrequentPattern:
+    """An itemset with its support count."""
+
+    items: FrozenSet[Item]
+    support: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items", frozenset(self.items))
+        if not self.items:
+            raise ValueError("a pattern must contain at least one item")
+        if self.support < 1:
+            raise ValueError(f"support must be >= 1, got {self.support}")
+
+    @property
+    def length(self) -> int:
+        return len(self.items)
+
+    def sorted_items(self) -> Tuple[Item, ...]:
+        """Items in deterministic (repr-sorted) display order."""
+        return tuple(sorted(self.items, key=repr))
+
+    def __str__(self) -> str:
+        items = "".join(str(item) for item in self.sorted_items())
+        return f"{items} [support={self.support}]"
+
+
+@dataclass(frozen=True)
+class PeriodicFrequentPattern:
+    """A frequent pattern whose maximum periodicity passes the threshold.
+
+    ``periodicity`` is the largest inter-arrival time over the pattern's
+    whole point sequence, *including* the lead-in from the database
+    start and the lead-out to the database end (Tanbeer et al. 2009) —
+    the pattern must cycle through the entire database.
+    """
+
+    items: FrozenSet[Item]
+    support: int
+    periodicity: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items", frozenset(self.items))
+        if not self.items:
+            raise ValueError("a pattern must contain at least one item")
+        if self.support < 1:
+            raise ValueError(f"support must be >= 1, got {self.support}")
+        if self.periodicity < 0:
+            raise ValueError(
+                f"periodicity must be >= 0, got {self.periodicity}"
+            )
+
+    @property
+    def length(self) -> int:
+        return len(self.items)
+
+    def sorted_items(self) -> Tuple[Item, ...]:
+        """Items in deterministic (repr-sorted) display order."""
+        return tuple(sorted(self.items, key=repr))
+
+    def __str__(self) -> str:
+        items = "".join(str(item) for item in self.sorted_items())
+        return (
+            f"{items} [support={self.support}, "
+            f"periodicity={self.periodicity:g}]"
+        )
+
+
+@dataclass(frozen=True)
+class PPattern:
+    """A Ma–Hellerstein p-pattern.
+
+    ``periodic_support`` is the number of *periodic appearances* — the
+    count of inter-arrival times that qualify as periodic under the
+    chosen period/tolerance — which is what ``minSup`` thresholds in
+    that model (unlike plain support in frequent-pattern mining).
+    """
+
+    items: FrozenSet[Item]
+    support: int
+    periodic_support: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items", frozenset(self.items))
+        if not self.items:
+            raise ValueError("a pattern must contain at least one item")
+        if self.support < 1:
+            raise ValueError(f"support must be >= 1, got {self.support}")
+        if self.periodic_support < 0:
+            raise ValueError(
+                f"periodic_support must be >= 0, got {self.periodic_support}"
+            )
+
+    @property
+    def length(self) -> int:
+        return len(self.items)
+
+    def sorted_items(self) -> Tuple[Item, ...]:
+        """Items in deterministic (repr-sorted) display order."""
+        return tuple(sorted(self.items, key=repr))
+
+    def __str__(self) -> str:
+        items = "".join(str(item) for item in self.sorted_items())
+        return (
+            f"{items} [support={self.support}, "
+            f"periodic_support={self.periodic_support}]"
+        )
+
+
+PatternT = TypeVar("PatternT")
+
+
+class PatternCollection(Generic[PatternT]):
+    """Deterministically ordered collection of baseline patterns.
+
+    Works for any pattern type exposing ``items``, ``length`` and
+    ``sorted_items()``; ordering is by (length, sorted items) to match
+    :class:`~repro.core.model.RecurringPatternSet`.
+    """
+
+    def __init__(self, patterns: Iterable[PatternT] = ()):
+        ordered = sorted(
+            patterns, key=lambda p: (p.length, p.sorted_items())
+        )
+        self._patterns: Tuple[PatternT, ...] = tuple(ordered)
+        self._by_items: Dict[FrozenSet[Item], PatternT] = {
+            pattern.items: pattern for pattern in self._patterns
+        }
+        if len(self._by_items) != len(self._patterns):
+            raise ValueError("duplicate patterns in result set")
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __iter__(self) -> Iterator[PatternT]:
+        return iter(self._patterns)
+
+    def __contains__(self, items: Iterable[Item]) -> bool:
+        return frozenset(items) in self._by_items
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternCollection):
+            return NotImplemented
+        return self._patterns == other._patterns
+
+    def __repr__(self) -> str:
+        return f"PatternCollection({len(self._patterns)} patterns)"
+
+    @property
+    def patterns(self) -> Tuple[PatternT, ...]:
+        return self._patterns
+
+    def pattern(self, items: Iterable[Item]) -> PatternT:
+        """The pattern with exactly ``items`` (KeyError if absent)."""
+        return self._by_items[frozenset(items)]
+
+    def get(
+        self, items: Iterable[Item], default: Optional[PatternT] = None
+    ) -> Optional[PatternT]:
+        """The pattern with exactly ``items``, or ``default``."""
+        return self._by_items.get(frozenset(items), default)
+
+    def itemsets(self) -> FrozenSet[FrozenSet[Item]]:
+        """The set of discovered itemsets (ignores metadata)."""
+        return frozenset(self._by_items)
+
+    def max_length(self) -> int:
+        """Length of the longest pattern (Table 8's column 'II')."""
+        return max((p.length for p in self._patterns), default=0)

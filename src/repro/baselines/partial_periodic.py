@@ -1,0 +1,226 @@
+"""Segment-based partial periodic patterns (Han, Dong & Yin, ICDE'99).
+
+This is the classic *symbolic-sequence* model the paper's related-work
+section starts from — and argues against, because it ignores actual
+event timestamps.  It is included both as a baseline and to demonstrate
+that criticism concretely (see
+``tests/baselines/test_partial_periodic.py``).
+
+The model: view the data as a symbolic sequence of itemsets
+``s_1 s_2 … s_n`` (one per position, *not* per timestamp), fix a period
+``p``, and chop the sequence into ``floor(n / p)`` disjoint
+*period-segments* of length ``p``.  A **partial periodic pattern** is a
+tuple of ``p`` slots, each either the wildcard ``*`` or a non-empty
+itemset; a segment *matches* when every non-wildcard slot's itemset is
+contained in the segment's itemset at that offset.  A pattern is
+frequent when its fraction of matching segments reaches ``minConf``
+(Han's confidence).
+
+Mining is level-wise over the non-wildcard slot/item choices (the
+"1-patterns" are single (offset, item) pairs), which is the max-subpattern
+tree paper's candidate space explored Apriori-style — fine at the
+pattern sizes the comparison needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple, Union
+
+from repro._validation import check_count, resolve_count_threshold
+from repro.exceptions import ParameterError
+from repro.timeseries.database import TransactionalDatabase
+from repro.timeseries.events import Item
+
+__all__ = [
+    "PartialPeriodicPattern",
+    "mine_partial_periodic_patterns",
+    "database_to_symbolic_sequence",
+]
+
+# A slot assignment: (offset within the period, item).
+Slot = Tuple[int, Item]
+
+
+@dataclass(frozen=True)
+class PartialPeriodicPattern:
+    """One partial periodic pattern over a fixed period.
+
+    ``slots`` holds the non-wildcard positions as (offset, item) pairs;
+    every other offset is the wildcard.  ``support`` counts matching
+    period-segments.
+    """
+
+    period: int
+    slots: FrozenSet[Slot]
+    support: int
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            raise ValueError("a pattern needs at least one bound slot")
+        for offset, _ in self.slots:
+            if not 0 <= offset < self.period:
+                raise ValueError(
+                    f"slot offset {offset} outside period {self.period}"
+                )
+
+    @property
+    def length(self) -> int:
+        """Number of bound (non-wildcard) slot/item assignments."""
+        return len(self.slots)
+
+    def sorted_slots(self) -> Tuple[Slot, ...]:
+        """Slots in deterministic (offset, item) order."""
+        return tuple(sorted(self.slots, key=lambda slot: (slot[0], repr(slot[1]))))
+
+    def __str__(self) -> str:
+        by_offset: Dict[int, List[Item]] = {}
+        for offset, item in self.slots:
+            by_offset.setdefault(offset, []).append(item)
+        rendered = []
+        for offset in range(self.period):
+            if offset in by_offset:
+                rendered.append(
+                    "{" + "".join(
+                        str(i) for i in sorted(by_offset[offset], key=repr)
+                    ) + "}"
+                )
+            else:
+                rendered.append("*")
+        return "".join(rendered) + f" [support={self.support}]"
+
+
+def database_to_symbolic_sequence(
+    database: TransactionalDatabase,
+) -> List[FrozenSet[Item]]:
+    """Flatten a database to the symbolic sequence this model assumes.
+
+    This is precisely the lossy step the paper criticises: transaction
+    *positions* replace timestamps, so the silent gaps (e.g. the
+    missing timestamps 8 and 13 of the running example) disappear.
+    """
+    return [itemset for _, itemset in database]
+
+
+def mine_partial_periodic_patterns(
+    sequence_or_database: Union[Sequence[FrozenSet[Item]], TransactionalDatabase],
+    period: int,
+    min_sup: Union[int, float],
+    max_length: int = 4,
+) -> List[PartialPeriodicPattern]:
+    """Mine all partial periodic patterns of one fixed period.
+
+    Parameters
+    ----------
+    sequence_or_database:
+        A symbolic sequence (list of itemsets) or a database (flattened
+        first via :func:`database_to_symbolic_sequence`).
+    period:
+        Segment length ``p``.
+    min_sup:
+        Minimum number (or fraction) of matching period-segments.
+    max_length:
+        Cap on bound slots per pattern (the candidate space is the
+        product of offsets and items; real uses of this model keep
+        patterns short).
+
+    Examples
+    --------
+    A perfectly alternating sequence has the length-2 pattern
+    ``{a}{b}`` at period 2:
+
+    >>> seq = [frozenset("a"), frozenset("b")] * 4
+    >>> patterns = mine_partial_periodic_patterns(seq, period=2, min_sup=4)
+    >>> sorted(str(p) for p in patterns)
+    ['*{b} [support=4]', '{a}* [support=4]', '{a}{b} [support=4]']
+    """
+    check_count(period, "period")
+    check_count(max_length, "max_length")
+    if isinstance(sequence_or_database, TransactionalDatabase):
+        sequence = database_to_symbolic_sequence(sequence_or_database)
+    else:
+        sequence = list(sequence_or_database)
+    n_segments = len(sequence) // period
+    if n_segments == 0:
+        return []
+    threshold = resolve_count_threshold(min_sup, "min_sup", n_segments)
+    segments = [
+        sequence[index * period:(index + 1) * period]
+        for index in range(n_segments)
+    ]
+
+    # Level 1: count every (offset, item) slot.
+    slot_counts: Dict[Slot, int] = {}
+    for segment in segments:
+        for offset, itemset in enumerate(segment):
+            for item in itemset:
+                slot = (offset, item)
+                slot_counts[slot] = slot_counts.get(slot, 0) + 1
+    current: Dict[FrozenSet[Slot], int] = {
+        frozenset((slot,)): count
+        for slot, count in slot_counts.items()
+        if count >= threshold
+    }
+
+    found: List[PartialPeriodicPattern] = []
+    level = 1
+    while current:
+        found.extend(
+            PartialPeriodicPattern(period, slots, support)
+            for slots, support in current.items()
+        )
+        if level >= max_length:
+            break
+        candidates = _join(set(current), level)
+        counts = _count(segments, candidates)
+        current = {
+            slots: support
+            for slots, support in counts.items()
+            if support >= threshold
+        }
+        level += 1
+    found.sort(key=lambda p: (p.length, p.sorted_slots()))
+    return found
+
+
+def _join(
+    frequent: Set[FrozenSet[Slot]], level: int
+) -> Set[FrozenSet[Slot]]:
+    """Apriori join+prune over slot sets.
+
+    Two same-offset slots with different items ARE allowed together
+    (Han's model permits itemsets per position), so the join is plain
+    set union of compatible slot sets.
+    """
+    candidates: Set[FrozenSet[Slot]] = set()
+    ordered = sorted(
+        frequent,
+        key=lambda slots: tuple(
+            sorted((offset, repr(item)) for offset, item in slots)
+        ),
+    )
+    for left, right in combinations(ordered, 2):
+        union = left | right
+        if len(union) != level + 1:
+            continue
+        if all(
+            frozenset(subset) in frequent
+            for subset in combinations(sorted(union, key=repr), level)
+        ):
+            candidates.add(union)
+    return candidates
+
+
+def _count(
+    segments: List[List[FrozenSet[Item]]],
+    candidates: Set[FrozenSet[Slot]],
+) -> Dict[FrozenSet[Slot], int]:
+    counts: Dict[FrozenSet[Slot], int] = dict.fromkeys(candidates, 0)
+    for segment in segments:
+        for candidate in candidates:
+            if all(
+                item in segment[offset] for offset, item in candidate
+            ):
+                counts[candidate] += 1
+    return counts

@@ -1,0 +1,37 @@
+"""Experiment harness for reproducing the paper's evaluation section.
+
+* :mod:`repro.bench.workloads` — the three evaluation databases
+  (Quest/T10I4, Shop-14-like, Twitter-like) at configurable scale,
+  cached per configuration;
+* :mod:`repro.bench.harness` — parameter-grid sweeps producing the
+  rows of Tables 5, 7 and 8 and the series of Figures 7 and 9;
+* :mod:`repro.bench.reporting` — fixed-width ASCII tables and series
+  renderers used by the benchmark scripts and the CLI.
+"""
+
+from repro.bench.harness import (
+    ComparisonResult,
+    GridResult,
+    compare_models,
+    sweep_pattern_counts,
+    sweep_runtime,
+)
+from repro.bench.reporting import format_series, format_table
+from repro.bench.workloads import (
+    clickstream_workload,
+    quest_workload,
+    twitter_workload,
+)
+
+__all__ = [
+    "GridResult",
+    "ComparisonResult",
+    "sweep_pattern_counts",
+    "sweep_runtime",
+    "compare_models",
+    "format_table",
+    "format_series",
+    "quest_workload",
+    "clickstream_workload",
+    "twitter_workload",
+]

@@ -1,0 +1,229 @@
+"""Parameter-grid sweeps reproducing the paper's evaluation artefacts.
+
+Three entry points, one per artefact family:
+
+* :func:`sweep_pattern_counts` — the count grids of Table 5 and the
+  series of Figure 7;
+* :func:`sweep_runtime` — the runtime grids of Table 7 and the series
+  of Figure 9 (wall-clock, includes the database scans exactly as the
+  paper's runtime includes the transformation);
+* :func:`compare_models` — the model comparison of Table 8
+  (periodic-frequent vs recurring vs p-patterns, counts and longest
+  pattern).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro._validation import Number
+from repro.baselines.pf_growth import mine_periodic_frequent_patterns
+from repro.baselines.ppattern import mine_p_patterns
+from repro.bench.reporting import format_series, format_table
+from repro.core.miner import mine_recurring_patterns
+from repro.timeseries.database import TransactionalDatabase
+
+__all__ = [
+    "GridResult",
+    "ComparisonResult",
+    "sweep_pattern_counts",
+    "sweep_runtime",
+    "compare_models",
+]
+
+GridKey = Tuple[Number, Union[int, float], int]  # (per, min_ps, min_rec)
+
+
+@dataclass
+class GridResult:
+    """One sweep over a (per, minPS, minRec) grid.
+
+    ``cells`` maps each parameter combination to the measured value —
+    a pattern count for :func:`sweep_pattern_counts`, seconds for
+    :func:`sweep_runtime`.
+    """
+
+    dataset: str
+    metric: str
+    pers: Tuple[Number, ...]
+    min_ps_values: Tuple[Union[int, float], ...]
+    min_recs: Tuple[int, ...]
+    cells: Dict[GridKey, float] = field(default_factory=dict)
+
+    def value(
+        self, per: Number, min_ps: Union[int, float], min_rec: int
+    ) -> float:
+        """The measured value of one grid cell."""
+        return self.cells[(per, min_ps, min_rec)]
+
+    def as_table(self) -> str:
+        """Render in the layout of Tables 5/7: one row per minPS, one
+        column per (minRec, per) combination."""
+        headers = ["minPS"] + [
+            f"rec={min_rec},per={per:g}"
+            for min_rec in self.min_recs
+            for per in self.pers
+        ]
+        rows: List[List[object]] = []
+        for min_ps in self.min_ps_values:
+            row: List[object] = [_format_threshold(min_ps)]
+            for min_rec in self.min_recs:
+                for per in self.pers:
+                    value = self.cells[(per, min_ps, min_rec)]
+                    row.append(int(value) if self.metric == "count" else value)
+            rows.append(row)
+        return format_table(
+            headers, rows, title=f"{self.dataset}: {self.metric}"
+        )
+
+    def as_figure(self, min_rec: int) -> str:
+        """Render one Figure 7/9 panel: value vs minPS, a series per per."""
+        series = {
+            f"per={per:g}": [
+                (
+                    int(self.cells[(per, min_ps, min_rec)])
+                    if self.metric == "count"
+                    else self.cells[(per, min_ps, min_rec)]
+                )
+                for min_ps in self.min_ps_values
+            ]
+            for per in self.pers
+        }
+        return format_series(
+            "minPS",
+            [_format_threshold(v) for v in self.min_ps_values],
+            series,
+            title=f"{self.dataset}: {self.metric} (minRec={min_rec})",
+        )
+
+
+def sweep_pattern_counts(
+    database: TransactionalDatabase,
+    dataset: str,
+    pers: Sequence[Number],
+    min_ps_values: Sequence[Union[int, float]],
+    min_recs: Sequence[int],
+    engine: str = "rp-growth",
+) -> GridResult:
+    """Count recurring patterns over the full parameter grid (Table 5)."""
+    result = GridResult(
+        dataset=dataset,
+        metric="count",
+        pers=tuple(pers),
+        min_ps_values=tuple(min_ps_values),
+        min_recs=tuple(min_recs),
+    )
+    for per in pers:
+        for min_ps in min_ps_values:
+            for min_rec in min_recs:
+                found = mine_recurring_patterns(
+                    database, per, min_ps, min_rec, engine=engine
+                )
+                result.cells[(per, min_ps, min_rec)] = float(len(found))
+    return result
+
+
+def sweep_runtime(
+    database: TransactionalDatabase,
+    dataset: str,
+    pers: Sequence[Number],
+    min_ps_values: Sequence[Union[int, float]],
+    min_recs: Sequence[int],
+    engine: str = "rp-growth",
+    repeats: int = 1,
+) -> GridResult:
+    """Measure mining wall-clock over the parameter grid (Table 7).
+
+    The best of ``repeats`` runs is recorded, as is conventional for
+    runtime tables.
+    """
+    result = GridResult(
+        dataset=dataset,
+        metric="seconds",
+        pers=tuple(pers),
+        min_ps_values=tuple(min_ps_values),
+        min_recs=tuple(min_recs),
+    )
+    for per in pers:
+        for min_ps in min_ps_values:
+            for min_rec in min_recs:
+                best = float("inf")
+                for _ in range(max(1, repeats)):
+                    started = time.perf_counter()
+                    mine_recurring_patterns(
+                        database, per, min_ps, min_rec, engine=engine
+                    )
+                    best = min(best, time.perf_counter() - started)
+                result.cells[(per, min_ps, min_rec)] = best
+    return result
+
+
+@dataclass
+class ComparisonResult:
+    """The Table 8 comparison on one dataset.
+
+    For each model: number of patterns found ('I' in the paper) and the
+    longest pattern length ('II').
+    """
+
+    dataset: str
+    counts: Dict[str, int]
+    max_lengths: Dict[str, int]
+
+    MODELS = ("periodic-frequent", "recurring", "p-pattern")
+
+    def as_table(self) -> str:
+        """Render the comparison in the paper's Table 8 layout."""
+        rows = [
+            [model, self.counts[model], self.max_lengths[model]]
+            for model in self.MODELS
+        ]
+        return format_table(
+            ["model", "patterns (I)", "max length (II)"],
+            rows,
+            title=f"{self.dataset}: model comparison (Table 8)",
+        )
+
+
+def compare_models(
+    database: TransactionalDatabase,
+    dataset: str,
+    per: Number,
+    min_sup: Union[int, float],
+    min_ps: Union[int, float],
+    min_rec: int = 1,
+) -> ComparisonResult:
+    """Reproduce one Table 8 row group.
+
+    Following Section 5.4: ``per`` is shared by all three models
+    (maximum periodicity for periodic-frequent patterns, periodic gap
+    threshold for recurring and p-patterns); ``min_sup`` parameterises
+    the PF and p-pattern miners; ``min_ps``/``min_rec`` the recurring
+    miner.
+    """
+    pf = mine_periodic_frequent_patterns(database, min_sup, per)
+    recurring = mine_recurring_patterns(
+        database, per, min_ps, min_rec, engine="rp-growth"
+    )
+    p_patterns = mine_p_patterns(database, per, min_sup)
+    return ComparisonResult(
+        dataset=dataset,
+        counts={
+            "periodic-frequent": len(pf),
+            "recurring": len(recurring),
+            "p-pattern": len(p_patterns),
+        },
+        max_lengths={
+            "periodic-frequent": pf.max_length(),
+            "recurring": recurring.max_length(),
+            "p-pattern": p_patterns.max_length(),
+        },
+    )
+
+
+def _format_threshold(value: Union[int, float]) -> str:
+    if isinstance(value, float):
+        return f"{value * 100:g}%"
+    return str(value)

@@ -1,0 +1,91 @@
+"""Fixed-width ASCII renderers for experiment tables and figure series.
+
+The paper's evaluation artefacts are tables (5, 7, 8) and line plots
+(Figures 7, 9).  These helpers print both shapes deterministically so
+benchmark output can be diffed between runs and pasted into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+__all__ = ["format_table", "format_series"]
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width table with a header rule.
+
+    Examples
+    --------
+    >>> print(format_table(["x", "y"], [[1, 2], [30, 4]]))
+     x | y
+    ---+--
+     1 | 2
+    30 | 4
+    """
+    rendered: List[List[str]] = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(h.rjust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Cell],
+    series: Dict[str, Sequence[Cell]],
+    title: str = "",
+) -> str:
+    """Render named series against shared x values (a textual Figure).
+
+    Examples
+    --------
+    >>> print(format_series("minPS", [2, 5], {"per=360": [10, 3]}))
+    minPS | per=360
+    ------+--------
+        2 |      10
+        5 |       3
+    """
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, "
+                f"expected {len(x_values)}"
+            )
+    headers = [x_label, *series]
+    rows = [
+        [x, *(series[name][index] for name in series)]
+        for index, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)

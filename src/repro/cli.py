@@ -1,0 +1,460 @@
+"""Command-line interface: ``repro-mine`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+``mine``
+    Mine recurring patterns from an event or transaction file and print
+    them as a table.
+``generate``
+    Write one of the synthetic evaluation workloads to a file.
+``stats``
+    Describe the shape of a database file.
+``bench``
+    Run a Table 5/7-style parameter sweep on a generated workload.
+``compare``
+    Run the Table 8 model comparison on a generated workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench.harness import (
+    compare_models,
+    sweep_pattern_counts,
+    sweep_runtime,
+)
+from repro.bench.reporting import format_table
+from repro.bench.workloads import (
+    clickstream_workload,
+    quest_workload,
+    twitter_workload,
+)
+from repro.core.miner import ENGINES, mine_recurring_patterns
+from repro.exceptions import ReproError
+from repro.timeseries.database import TransactionalDatabase
+from repro.timeseries.io import (
+    load_event_sequence,
+    load_transactional_database,
+    save_transactional_database,
+)
+from repro.timeseries.stats import describe_database
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS = {
+    "quest": quest_workload,
+    "clickstream": clickstream_workload,
+    "twitter": twitter_workload,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-mine`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mine",
+        description="Recurring pattern mining in time series (EDBT 2015).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    mine = commands.add_parser("mine", help="mine recurring patterns")
+    mine.add_argument("--input", required=True, help="input file path")
+    mine.add_argument(
+        "--format",
+        choices=("transactions", "events"),
+        default="transactions",
+        help="input file format (default: transactions)",
+    )
+    mine.add_argument("--per", type=float, required=True, help="period threshold")
+    mine.add_argument(
+        "--min-ps",
+        type=_threshold,
+        required=True,
+        help="minimum periodic-support (count, or fraction like 0.02)",
+    )
+    mine.add_argument(
+        "--min-rec", type=int, default=1, help="minimum recurrence (default 1)"
+    )
+    mine.add_argument(
+        "--engine", choices=ENGINES, default="rp-growth", help="mining engine"
+    )
+    mine.add_argument(
+        "--top", type=int, default=0, help="print only the N highest-support patterns"
+    )
+    mine.add_argument(
+        "--max-faults",
+        type=int,
+        default=0,
+        help="fault credits per interval (noise-tolerant mining; default 0)",
+    )
+    mine.add_argument(
+        "--fault-per",
+        type=float,
+        default=None,
+        help="forgiving gap threshold for faults (default 2*per)",
+    )
+    condensation = mine.add_mutually_exclusive_group()
+    condensation.add_argument(
+        "--closed", action="store_true", help="report closed patterns only"
+    )
+    condensation.add_argument(
+        "--maximal", action="store_true", help="report maximal patterns only"
+    )
+    mine.add_argument(
+        "--timeline",
+        action="store_true",
+        help="draw each pattern's intervals on a time axis",
+    )
+    mine.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write a markdown report of the run to PATH",
+    )
+    mine.add_argument(
+        "--save-patterns",
+        default=None,
+        metavar="PATH",
+        help="also write the mined pattern set (reloadable TSV) to PATH",
+    )
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic workload"
+    )
+    generate.add_argument(
+        "--dataset", choices=sorted(_WORKLOADS), required=True
+    )
+    generate.add_argument("--output", required=True, help="output file path")
+    generate.add_argument(
+        "--scale", type=float, default=0.1, help="fraction of paper scale"
+    )
+    generate.add_argument("--seed", type=int, default=0)
+
+    stats = commands.add_parser("stats", help="describe a database file")
+    stats.add_argument("--input", required=True)
+    stats.add_argument(
+        "--format",
+        choices=("transactions", "events"),
+        default="transactions",
+    )
+
+    bench = commands.add_parser(
+        "bench", help="parameter sweep (Tables 5 and 7)"
+    )
+    bench.add_argument(
+        "--dataset", choices=sorted(_WORKLOADS), required=True
+    )
+    bench.add_argument("--scale", type=float, default=0.05)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--pers", type=float, nargs="+", default=[360, 720, 1440]
+    )
+    bench.add_argument(
+        "--min-ps", type=_threshold, nargs="+", required=True,
+        dest="min_ps_values",
+    )
+    bench.add_argument("--min-recs", type=int, nargs="+", default=[1, 2, 3])
+    bench.add_argument(
+        "--engine", choices=ENGINES, default="rp-growth"
+    )
+    bench.add_argument(
+        "--runtime", action="store_true", help="also measure wall-clock"
+    )
+
+    compare = commands.add_parser(
+        "compare", help="model comparison (Table 8)"
+    )
+    compare.add_argument(
+        "--dataset", choices=sorted(_WORKLOADS), required=True
+    )
+    compare.add_argument("--scale", type=float, default=0.05)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--per", type=float, default=1440)
+    compare.add_argument("--min-sup", type=_threshold, required=True)
+    compare.add_argument("--min-ps", type=_threshold, required=True)
+    compare.add_argument("--min-rec", type=int, default=1)
+
+    rules = commands.add_parser(
+        "rules", help="derive recurring association rules"
+    )
+    rules.add_argument("--input", required=True)
+    rules.add_argument(
+        "--format",
+        choices=("transactions", "events"),
+        default="transactions",
+    )
+    rules.add_argument("--per", type=float, required=True)
+    rules.add_argument("--min-ps", type=_threshold, required=True)
+    rules.add_argument("--min-rec", type=int, default=1)
+    rules.add_argument("--min-confidence", type=float, default=0.5)
+    rules.add_argument("--top", type=int, default=20)
+
+    baseline = commands.add_parser(
+        "baseline", help="run one of the baseline miners"
+    )
+    baseline.add_argument("--input", required=True)
+    baseline.add_argument(
+        "--format",
+        choices=("transactions", "events"),
+        default="transactions",
+    )
+    baseline.add_argument(
+        "--model",
+        choices=(
+            "frequent",
+            "periodic-frequent",
+            "p-pattern",
+            "partial-periodic",
+            "async-periodic",
+        ),
+        required=True,
+    )
+    baseline.add_argument("--per", type=float, default=1440)
+    baseline.add_argument("--min-sup", type=_threshold, required=True)
+    baseline.add_argument(
+        "--window", type=float, default=0, help="p-pattern tolerance window"
+    )
+    baseline.add_argument(
+        "--min-rep", type=int, default=2, help="async-periodic min repetitions"
+    )
+    baseline.add_argument(
+        "--max-dis", type=int, default=10, help="async-periodic max disturbance"
+    )
+    baseline.add_argument("--top", type=int, default=20)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "mine":
+            return _cmd_mine(args)
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "rules":
+            return _cmd_rules(args)
+        if args.command == "baseline":
+            return _cmd_baseline(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _cmd_mine(args: argparse.Namespace) -> int:
+    database = _load(args.input, args.format)
+    if args.max_faults:
+        from repro.core.noise import mine_noise_tolerant_patterns
+
+        found = mine_noise_tolerant_patterns(
+            database,
+            per=args.per,
+            min_ps=args.min_ps,
+            min_rec=args.min_rec,
+            fault_per=args.fault_per,
+            max_faults=args.max_faults,
+        )
+    else:
+        found = mine_recurring_patterns(
+            database,
+            per=args.per,
+            min_ps=args.min_ps,
+            min_rec=args.min_rec,
+            engine=args.engine,
+        )
+    if args.closed:
+        from repro.core.condensed import closed_patterns
+
+        found = closed_patterns(found)
+    elif args.maximal:
+        from repro.core.condensed import maximal_patterns
+
+        found = maximal_patterns(found)
+    patterns = found.top(args.top) if args.top else list(found)
+    rows = [
+        (
+            " ".join(str(item) for item in p.sorted_items()),
+            p.support,
+            p.recurrence,
+            ", ".join(str(interval) for interval in p.intervals),
+        )
+        for p in patterns
+    ]
+    print(
+        format_table(
+            ["pattern", "sup", "rec", "interesting periodic-intervals"],
+            rows,
+            title=(
+                f"{len(found)} recurring patterns "
+                f"(per={args.per:g}, minPS={args.min_ps}, "
+                f"minRec={args.min_rec})"
+            ),
+        )
+    )
+    if args.timeline and patterns and len(database):
+        from repro.viz import render_timeline
+
+        print()
+        print(render_timeline(patterns, database.start, database.end))
+    if args.report:
+        from repro.report import write_mining_report
+
+        write_mining_report(
+            args.report, database, found,
+            per=args.per, min_ps=args.min_ps, min_rec=args.min_rec,
+            engine=args.engine,
+        )
+        print(f"report written to {args.report}")
+    if args.save_patterns:
+        from repro.patterns_io import save_patterns
+
+        save_patterns(found, args.save_patterns)
+        print(f"patterns written to {args.save_patterns}")
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    from repro.core.rules import derive_rules
+
+    database = _load(args.input, args.format)
+    found = mine_recurring_patterns(
+        database, per=args.per, min_ps=args.min_ps, min_rec=args.min_rec
+    )
+    rules = derive_rules(
+        found, database, min_confidence=args.min_confidence
+    )
+    print(
+        f"{len(rules)} recurring association rules "
+        f"(min confidence {args.min_confidence:g})"
+    )
+    for rule in rules[: args.top]:
+        print(f"  {rule}")
+    return 0
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    from repro.baselines import (
+        mine_async_periodic_patterns,
+        mine_frequent_patterns,
+        mine_p_patterns,
+        mine_partial_periodic_patterns,
+        mine_periodic_frequent_patterns,
+    )
+
+    database = _load(args.input, args.format)
+    if args.model == "frequent":
+        results = list(mine_frequent_patterns(database, args.min_sup))
+    elif args.model == "periodic-frequent":
+        results = list(
+            mine_periodic_frequent_patterns(database, args.min_sup, args.per)
+        )
+    elif args.model == "p-pattern":
+        mode = "tolerance" if args.window else "threshold"
+        results = list(
+            mine_p_patterns(
+                database, args.per, args.min_sup,
+                window=args.window, mode=mode,
+            )
+        )
+    elif args.model == "partial-periodic":
+        results = mine_partial_periodic_patterns(
+            database, int(args.per), args.min_sup
+        )
+    else:
+        results = mine_async_periodic_patterns(
+            database, int(args.per), args.min_rep, args.max_dis
+        )
+    print(f"{len(results)} {args.model} patterns")
+    for pattern in results[: args.top]:
+        print(f"  {pattern}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    database = _WORKLOADS[args.dataset](scale=args.scale, seed=args.seed)
+    save_transactional_database(database, args.output)
+    print(
+        f"wrote {len(database)} transactions "
+        f"({len(database.items())} items) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    database = _load(args.input, args.format)
+    stats = describe_database(database)
+    print(format_table(["statistic", "value"], stats.as_rows()))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    database = _WORKLOADS[args.dataset](scale=args.scale, seed=args.seed)
+    counts = sweep_pattern_counts(
+        database,
+        args.dataset,
+        args.pers,
+        args.min_ps_values,
+        args.min_recs,
+        engine=args.engine,
+    )
+    print(counts.as_table())
+    if args.runtime:
+        runtime = sweep_runtime(
+            database,
+            args.dataset,
+            args.pers,
+            args.min_ps_values,
+            args.min_recs,
+            engine=args.engine,
+        )
+        print()
+        print(runtime.as_table())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    database = _WORKLOADS[args.dataset](scale=args.scale, seed=args.seed)
+    result = compare_models(
+        database,
+        args.dataset,
+        per=args.per,
+        min_sup=args.min_sup,
+        min_ps=args.min_ps,
+        min_rec=args.min_rec,
+    )
+    print(result.as_table())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _load(path: str, file_format: str) -> TransactionalDatabase:
+    if file_format == "events":
+        return TransactionalDatabase.from_events(load_event_sequence(path))
+    return load_transactional_database(path)
+
+
+def _threshold(text: str):
+    """Parse a support-like threshold: '3' -> 3, '0.02' -> 0.02."""
+    value = float(text)
+    if value >= 1 and value == int(value):
+        return int(value)
+    return value
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""NumPy-accelerated primitives and a vectorised vertical engine.
+
+The pure-Python implementations in :mod:`repro.core.intervals` are the
+reference semantics; this module provides drop-in vectorised versions
+for the two operations that dominate vertical mining on large
+workloads — the ``Erec`` bound and sorted-list intersection — plus
+:class:`FastRPEclat`, an RP-eclat variant that keeps point sequences as
+``numpy`` arrays end to end.
+
+Every function here is property-tested equal to its pure counterpart,
+and the engine is wired into the public façade as ``"rp-eclat-np"`` so
+the cross-engine equivalence suite covers it as well.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro._validation import Number, check_count, check_positive
+from repro.core.model import (
+    MiningParameters,
+    RecurringPattern,
+    RecurringPatternSet,
+)
+from repro.core.rp_growth import MiningStats
+from repro.timeseries.database import TransactionalDatabase
+from repro.timeseries.events import Item
+
+__all__ = [
+    "estimated_recurrence_np",
+    "recurrence_np",
+    "interesting_intervals_np",
+    "FastRPEclat",
+]
+
+
+def _run_lengths(timestamps: np.ndarray, per: Number) -> np.ndarray:
+    """Lengths of the maximal periodic runs, vectorised.
+
+    ``timestamps`` must be a strictly increasing 1-D array.
+    """
+    if timestamps.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    gaps = np.diff(timestamps)
+    # Boundaries where a new run starts (gap > per), as indices into ts.
+    breaks = np.flatnonzero(gaps > per)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [timestamps.size - 1]))
+    return ends - starts + 1
+
+
+def estimated_recurrence_np(
+    timestamps: np.ndarray, per: Number, min_ps: int
+) -> int:
+    """Vectorised ``Erec`` — equals
+    :func:`repro.core.intervals.estimated_recurrence`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> estimated_recurrence_np(np.array([1, 5, 6, 7, 12, 14]), 2, 3)
+    1
+    """
+    check_positive(per, "per")
+    check_count(min_ps, "min_ps")
+    return int((_run_lengths(timestamps, per) // min_ps).sum())
+
+
+def recurrence_np(timestamps: np.ndarray, per: Number, min_ps: int) -> int:
+    """Vectorised ``Rec`` — equals :func:`repro.core.intervals.recurrence`."""
+    check_positive(per, "per")
+    check_count(min_ps, "min_ps")
+    return int((_run_lengths(timestamps, per) >= min_ps).sum())
+
+
+def interesting_intervals_np(
+    timestamps: np.ndarray, per: Number, min_ps: int
+) -> List[Tuple[float, float, int]]:
+    """Vectorised interesting-interval extraction.
+
+    Returns the same ``(start, end, ps)`` tuples as
+    :func:`repro.core.intervals.interesting_intervals`.
+    """
+    check_positive(per, "per")
+    check_count(min_ps, "min_ps")
+    if timestamps.size == 0:
+        return []
+    gaps = np.diff(timestamps)
+    breaks = np.flatnonzero(gaps > per)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [timestamps.size - 1]))
+    lengths = ends - starts + 1
+    keep = lengths >= min_ps
+    return [
+        (timestamps[s].item(), timestamps[e].item(), int(length))
+        for s, e, length in zip(starts[keep], ends[keep], lengths[keep])
+    ]
+
+
+class FastRPEclat:
+    """Vectorised vertical miner — same model, numpy point sequences.
+
+    Matches :class:`repro.core.rp_eclat.RPEclat` output exactly
+    (property-tested); faster on workloads with long point sequences
+    because intersection (`np.intersect1d(assume_unique=True)`) and the
+    Erec bound are vectorised.
+
+    Examples
+    --------
+    >>> from repro.datasets import paper_running_example
+    >>> found = FastRPEclat(per=2, min_ps=3, min_rec=2).mine(
+    ...     paper_running_example())
+    >>> len(found)
+    8
+    """
+
+    def __init__(self, per: Number, min_ps: Union[int, float], min_rec: int):
+        self.params = MiningParameters(per=per, min_ps=min_ps, min_rec=min_rec)
+        self.last_stats: Union[MiningStats, None] = None
+
+    def mine(self, database: TransactionalDatabase) -> RecurringPatternSet:
+        """Mine the complete set of recurring patterns in ``database``."""
+        stats = MiningStats()
+        self.last_stats = stats
+        if len(database) == 0:
+            return RecurringPatternSet()
+        params = self.params.resolve(len(database))
+        per, min_ps, min_rec = params.per, params.min_ps, params.min_rec
+
+        item_ts = {
+            item: np.asarray(ts)
+            for item, ts in database.item_timestamps().items()
+        }
+        candidates: List[Tuple[Item, np.ndarray]] = []
+        for item in sorted(item_ts, key=repr):
+            ts = item_ts[item]
+            stats.erec_evaluations += 1
+            if estimated_recurrence_np(ts, per, min_ps) >= min_rec:
+                candidates.append((item, ts))
+            else:
+                stats.pruned_items += 1
+        stats.candidate_items = len(candidates)
+        candidates.sort(key=lambda pair: (pair[1].size, repr(pair[0])))
+
+        found: List[RecurringPattern] = []
+
+        def grow(
+            prefix: Tuple[Item, ...],
+            prefix_ts: np.ndarray,
+            extensions: List[Tuple[Item, np.ndarray]],
+        ) -> None:
+            stats.candidate_patterns += 1
+            stats.recurrence_evaluations += 1
+            runs = interesting_intervals_np(prefix_ts, per, min_ps)
+            if len(runs) >= min_rec:
+                stats.patterns_found += 1
+                pattern = params.pattern_from_timestamps(
+                    prefix, prefix_ts.tolist()
+                )
+                assert pattern is not None
+                found.append(pattern)
+            for index, (item, ts) in enumerate(extensions):
+                new_ts = np.intersect1d(prefix_ts, ts, assume_unique=True)
+                stats.erec_evaluations += 1
+                if estimated_recurrence_np(new_ts, per, min_ps) >= min_rec:
+                    grow(prefix + (item,), new_ts, extensions[index + 1:])
+
+        for index, (item, ts) in enumerate(candidates):
+            grow((item,), ts, candidates[index + 1:])
+        return RecurringPatternSet(found)

@@ -1,0 +1,120 @@
+"""Condensed representations of recurring-pattern sets.
+
+Recurring patterns are redundant in the usual ways: whenever two items
+always co-occur, every pattern containing one also appears with the
+other, with identical temporal metadata.  This module provides the two
+standard condensations, adapted to the recurring-pattern model:
+
+* a **closed** recurring pattern has no proper superset with the same
+  point sequence (equivalently, the same support — a superset's point
+  sequence is always a subset, so equal size means equal sequence).
+  Because every temporal measure of the model (periodic-intervals,
+  periodic-supports, recurrence) is a function of the point sequence,
+  the closed set losslessly determines the metadata of *all* recurring
+  patterns;
+* a **maximal** recurring pattern has no proper recurring superset.
+  Maximal sets are the most compact summary but drop metadata of
+  non-maximal patterns.
+
+Note the quirk the paper's Example 10 implies: recurring patterns are
+not downward-closed, so — unlike the frequent-itemset world — a subset
+of a maximal recurring pattern need not be recurring at all.
+
+Both condensations are computed from a fully mined
+:class:`~repro.core.model.RecurringPatternSet`; on the pattern counts
+real workloads produce this post-filter is cheap relative to mining.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List
+
+from repro._validation import check_count
+from repro.core.model import RecurringPattern, RecurringPatternSet
+from repro.timeseries.events import Item
+
+__all__ = ["closed_patterns", "maximal_patterns", "top_k_patterns"]
+
+
+def closed_patterns(found: RecurringPatternSet) -> RecurringPatternSet:
+    """The closed subset of ``found``.
+
+    Examples
+    --------
+    In the running example ``a`` (support 8) is closed, while ``b``
+    (support 7) is absorbed by its equal-support superset ``ab``:
+
+    >>> from repro.datasets import paper_running_example
+    >>> from repro.core.miner import mine_recurring_patterns
+    >>> found = mine_recurring_patterns(
+    ...     paper_running_example(), per=2, min_ps=3, min_rec=2)
+    >>> sorted("".join(sorted(p.items)) for p in closed_patterns(found))
+    ['a', 'ab', 'cd', 'ef']
+    """
+    by_support: Dict[int, List[RecurringPattern]] = {}
+    for pattern in found:
+        by_support.setdefault(pattern.support, []).append(pattern)
+    closed: List[RecurringPattern] = []
+    for pattern in found:
+        absorbed = any(
+            other.items > pattern.items
+            for other in by_support.get(pattern.support, ())
+        )
+        if not absorbed:
+            closed.append(pattern)
+    return RecurringPatternSet(closed)
+
+
+def maximal_patterns(found: RecurringPatternSet) -> RecurringPatternSet:
+    """The maximal subset of ``found``.
+
+    Examples
+    --------
+    >>> from repro.datasets import paper_running_example
+    >>> from repro.core.miner import mine_recurring_patterns
+    >>> found = mine_recurring_patterns(
+    ...     paper_running_example(), per=2, min_ps=3, min_rec=2)
+    >>> sorted("".join(sorted(p.items)) for p in maximal_patterns(found))
+    ['ab', 'cd', 'ef']
+    """
+    itemsets = found.itemsets()
+    # Group by length so each pattern is only compared against strictly
+    # longer ones.
+    by_length: Dict[int, List[FrozenSet[Item]]] = {}
+    for itemset in itemsets:
+        by_length.setdefault(len(itemset), []).append(itemset)
+    lengths = sorted(by_length)
+    maximal: List[RecurringPattern] = []
+    for pattern in found:
+        has_super = any(
+            pattern.items < candidate
+            for length in lengths
+            if length > pattern.length
+            for candidate in by_length[length]
+        )
+        if not has_super:
+            maximal.append(pattern)
+    return RecurringPatternSet(maximal)
+
+
+def top_k_patterns(
+    found: RecurringPatternSet, k: int, key: str = "recurrence"
+) -> List[RecurringPattern]:
+    """The ``k`` patterns maximising ``key``.
+
+    ``key`` is one of ``"recurrence"``, ``"support"`` or ``"length"``;
+    ties break deterministically on the sorted itemset.
+
+    Examples
+    --------
+    >>> from repro.datasets import paper_running_example
+    >>> from repro.core.miner import mine_recurring_patterns
+    >>> found = mine_recurring_patterns(
+    ...     paper_running_example(), per=2, min_ps=3, min_rec=2)
+    >>> [  # the highest-support pattern is the singleton a
+    ...     "".join(sorted(p.items))
+    ...     for p in top_k_patterns(found, 1, key="support")]
+    ['a']
+    """
+    check_count(k, "k")
+    return found.top(k, key=key)

@@ -1,0 +1,101 @@
+"""Public mining façade.
+
+:func:`mine_recurring_patterns` is the one-call entry point most users
+need: it accepts either a :class:`~repro.timeseries.events.EventSequence`
+(a raw time series, converted losslessly to a transactional database
+first) or a :class:`~repro.timeseries.database.TransactionalDatabase`,
+picks an engine and returns a
+:class:`~repro.core.model.RecurringPatternSet`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro._validation import Number
+from repro.core.model import RecurringPatternSet
+from repro.core.naive import mine_recurring_patterns_naive
+from repro.core.rp_eclat import RPEclat
+from repro.core.rp_growth import RPGrowth
+from repro.exceptions import ParameterError
+from repro.timeseries.database import TransactionalDatabase
+from repro.timeseries.events import EventSequence
+
+__all__ = ["mine_recurring_patterns", "ENGINES"]
+
+ENGINES = ("rp-growth", "rp-eclat", "rp-eclat-np", "naive")
+
+Source = Union[EventSequence, TransactionalDatabase]
+
+
+def mine_recurring_patterns(
+    data: Source,
+    per: Number,
+    min_ps: Union[int, float],
+    min_rec: int = 1,
+    engine: str = "rp-growth",
+) -> RecurringPatternSet:
+    """Discover all recurring patterns in a time series or database.
+
+    Parameters
+    ----------
+    data:
+        An :class:`EventSequence` (grouped into a transactional database
+        first, as in Section 3 of the paper) or a ready
+        :class:`TransactionalDatabase`.
+    per:
+        Period threshold: an inter-arrival time is a periodic
+        (interesting) occurrence when it is ≤ ``per``.
+    min_ps:
+        Minimum periodic-support — the minimum number of consecutive
+        cyclic repetitions a periodic-interval must contain to be
+        interesting.  ``int`` = absolute count; ``float`` in (0, 1] =
+        fraction of the database size.
+    min_rec:
+        Minimum recurrence — the minimum number of interesting
+        periodic-intervals a pattern must have (default 1).
+    engine:
+        ``"rp-growth"`` (the paper's algorithm, default), ``"rp-eclat"``
+        (vertical cross-check engine), ``"rp-eclat-np"`` (vectorised
+        vertical engine) or ``"naive"`` (exhaustive; small inputs
+        only).
+
+    Returns
+    -------
+    RecurringPatternSet
+        Every pattern satisfying Definition 9, each carrying its
+        support, recurrence and interesting periodic-intervals.
+
+    Examples
+    --------
+    >>> from repro.datasets import paper_running_example
+    >>> found = mine_recurring_patterns(
+    ...     paper_running_example(), per=2, min_ps=3, min_rec=2)
+    >>> print(found.pattern("ab"))
+    ab [support=7, recurrence=2, {[1, 4]:3, [11, 14]:3}]
+    """
+    database = _as_database(data)
+    if engine == "rp-growth":
+        return RPGrowth(per, min_ps, min_rec).mine(database)
+    if engine == "rp-eclat":
+        return RPEclat(per, min_ps, min_rec).mine(database)
+    if engine == "rp-eclat-np":
+        from repro.core.accel import FastRPEclat
+
+        return FastRPEclat(per, min_ps, min_rec).mine(database)
+    if engine == "naive":
+        return mine_recurring_patterns_naive(database, per, min_ps, min_rec)
+    raise ParameterError(
+        f"unknown engine {engine!r}; expected one of {ENGINES}"
+    )
+
+
+def _as_database(data: Source) -> TransactionalDatabase:
+    if isinstance(data, TransactionalDatabase):
+        return data
+    if isinstance(data, EventSequence):
+        return TransactionalDatabase.from_events(data)
+    raise TypeError(
+        "data must be an EventSequence or TransactionalDatabase, "
+        f"got {type(data).__name__}"
+    )

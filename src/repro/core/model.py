@@ -1,0 +1,299 @@
+"""Dataclasses for the recurring-pattern model (Definitions 3–11).
+
+The two value types here — :class:`PeriodicInterval` and
+:class:`RecurringPattern` — are what every mining engine returns, and
+:class:`RecurringPatternSet` is the ordered, queryable collection the
+public façade hands back.  :class:`MiningParameters` bundles and
+validates the three user thresholds ``per``, ``minPS`` and ``minRec``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro._validation import (
+    Number,
+    check_count,
+    check_positive,
+    resolve_count_threshold,
+)
+from repro.core.intervals import interesting_intervals
+from repro.timeseries.events import Item
+
+__all__ = [
+    "PeriodicInterval",
+    "RecurringPattern",
+    "RecurringPatternSet",
+    "MiningParameters",
+]
+
+
+@dataclass(frozen=True, order=True)
+class PeriodicInterval:
+    """One interesting periodic-interval of a pattern (Definitions 5–7).
+
+    Attributes
+    ----------
+    start, end:
+        First and last occurrence timestamp of the maximal periodic run
+        (``pi = [ts_p, ts_q]``).
+    periodic_support:
+        Number of occurrences inside the run (``ps``).
+    """
+
+    start: float
+    end: float
+    periodic_support: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"interval end {self.end} precedes start {self.start}"
+            )
+        check_count(self.periodic_support, "periodic_support")
+
+    @property
+    def duration(self) -> float:
+        """``end - start``; zero for a single-occurrence interval."""
+        return self.end - self.start
+
+    def __str__(self) -> str:
+        return f"[{self.start:g}, {self.end:g}]:{self.periodic_support}"
+
+
+@dataclass(frozen=True)
+class RecurringPattern:
+    """A recurring pattern with its full temporal description (Eq. 1).
+
+    Attributes
+    ----------
+    items:
+        The itemset ``X``.
+    support:
+        ``Sup(X)`` — total number of transactions containing ``X``.
+    intervals:
+        The interesting periodic-intervals ``IPI^X`` in time order.
+
+    The paper's expression
+    ``X [Sup(X), Rec(X), {{pi : ps}}]`` corresponds to
+    ``items [support, recurrence, intervals]``.
+    """
+
+    items: FrozenSet[Item]
+    support: int
+    intervals: Tuple[PeriodicInterval, ...]
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise ValueError("a pattern must contain at least one item")
+        object.__setattr__(self, "items", frozenset(self.items))
+        object.__setattr__(self, "intervals", tuple(self.intervals))
+        check_count(self.support, "support")
+
+    @property
+    def recurrence(self) -> int:
+        """``Rec(X)`` — the number of interesting periodic-intervals."""
+        return len(self.intervals)
+
+    @property
+    def length(self) -> int:
+        """Number of items in the pattern."""
+        return len(self.items)
+
+    def sorted_items(self) -> Tuple[Item, ...]:
+        """Items in a deterministic (repr-sorted) order for display."""
+        return tuple(sorted(self.items, key=repr))
+
+    def __str__(self) -> str:
+        body = ", ".join(str(interval) for interval in self.intervals)
+        items = "".join(str(item) for item in self.sorted_items())
+        return (
+            f"{items} [support={self.support}, "
+            f"recurrence={self.recurrence}, {{{body}}}]"
+        )
+
+
+class RecurringPatternSet:
+    """An ordered, queryable collection of recurring patterns.
+
+    Patterns are kept sorted by (length, sorted items) so output is
+    deterministic across engines and runs, which the equivalence tests
+    rely on.
+
+    Examples
+    --------
+    >>> from repro.datasets import paper_running_example
+    >>> from repro.core import mine_recurring_patterns
+    >>> found = mine_recurring_patterns(
+    ...     paper_running_example(), per=2, min_ps=3, min_rec=2)
+    >>> found.pattern("ab").support
+    7
+    """
+
+    def __init__(self, patterns: Iterable[RecurringPattern] = ()):
+        ordered = sorted(
+            patterns, key=lambda p: (p.length, p.sorted_items())
+        )
+        self._patterns: Tuple[RecurringPattern, ...] = tuple(ordered)
+        self._by_items: Dict[FrozenSet[Item], RecurringPattern] = {
+            pattern.items: pattern for pattern in self._patterns
+        }
+        if len(self._by_items) != len(self._patterns):
+            raise ValueError("duplicate patterns in result set")
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __iter__(self) -> Iterator[RecurringPattern]:
+        return iter(self._patterns)
+
+    def __contains__(self, items: Iterable[Item]) -> bool:
+        return frozenset(items) in self._by_items
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecurringPatternSet):
+            return NotImplemented
+        return self._patterns == other._patterns
+
+    def __repr__(self) -> str:
+        return f"RecurringPatternSet({len(self._patterns)} patterns)"
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def patterns(self) -> Tuple[RecurringPattern, ...]:
+        return self._patterns
+
+    def pattern(self, items: Iterable[Item]) -> RecurringPattern:
+        """The pattern with exactly ``items``; raises ``KeyError`` if absent."""
+        return self._by_items[frozenset(items)]
+
+    def get(
+        self, items: Iterable[Item], default: Optional[RecurringPattern] = None
+    ) -> Optional[RecurringPattern]:
+        """The pattern with exactly ``items``, or ``default``."""
+        return self._by_items.get(frozenset(items), default)
+
+    def itemsets(self) -> FrozenSet[FrozenSet[Item]]:
+        """The set of discovered itemsets (ignores metadata)."""
+        return frozenset(self._by_items)
+
+    def max_length(self) -> int:
+        """Length of the longest pattern; 0 when empty (Table 8's 'II')."""
+        return max((p.length for p in self._patterns), default=0)
+
+    def filter(
+        self,
+        min_length: int = 1,
+        min_support: int = 1,
+        min_recurrence: int = 1,
+    ) -> "RecurringPatternSet":
+        """Sub-collection passing all the given floors."""
+        return RecurringPatternSet(
+            p
+            for p in self._patterns
+            if p.length >= min_length
+            and p.support >= min_support
+            and p.recurrence >= min_recurrence
+        )
+
+    def top(self, n: int, key: str = "support") -> List[RecurringPattern]:
+        """The ``n`` patterns with the largest ``key`` attribute."""
+        if key not in ("support", "recurrence", "length"):
+            raise ValueError(f"unknown sort key {key!r}")
+        return sorted(
+            self._patterns,
+            key=lambda p: (getattr(p, key), p.sorted_items()),
+            reverse=True,
+        )[:n]
+
+    def as_rows(self) -> List[Tuple[str, int, int, str]]:
+        """(items, support, recurrence, intervals) display rows (Table 2)."""
+        rows = []
+        for pattern in self._patterns:
+            items = "".join(str(item) for item in pattern.sorted_items())
+            ipi = ", ".join(str(iv) for iv in pattern.intervals)
+            rows.append((items, pattern.support, pattern.recurrence, ipi))
+        return rows
+
+
+@dataclass(frozen=True)
+class MiningParameters:
+    """The three user thresholds of the model (Definition 10).
+
+    Attributes
+    ----------
+    per:
+        Period threshold: an inter-arrival time is periodic when it is
+        ≤ ``per``.  Must be > 0.
+    min_ps:
+        Minimum periodic-support.  An ``int`` is an absolute occurrence
+        count; a ``float`` in ``(0, 1]`` is a fraction of the database
+        size (resolved via :meth:`resolve`).
+    min_rec:
+        Minimum recurrence count (positive integer).
+    """
+
+    per: Number
+    min_ps: Union[int, float]
+    min_rec: int
+
+    def __post_init__(self) -> None:
+        check_positive(self.per, "per")
+        check_count(self.min_rec, "min_rec")
+        if isinstance(self.min_ps, int) and not isinstance(self.min_ps, bool):
+            check_count(self.min_ps, "min_ps")
+        elif not isinstance(self.min_ps, float):
+            raise ValueError(f"min_ps must be int or float, got {self.min_ps!r}")
+
+    def resolve(self, database_size: int) -> "ResolvedParameters":
+        """Fix fractional ``min_ps`` against a concrete database size."""
+        min_ps = resolve_count_threshold(self.min_ps, "min_ps", database_size)
+        return ResolvedParameters(
+            per=self.per, min_ps=min_ps, min_rec=self.min_rec
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedParameters:
+    """Mining thresholds with ``min_ps`` as an absolute count."""
+
+    per: Number
+    min_ps: int
+    min_rec: int
+
+    def pattern_from_timestamps(
+        self, items: Iterable[Item], timestamps: Sequence[float]
+    ) -> Optional[RecurringPattern]:
+        """Build the :class:`RecurringPattern` for ``items`` if recurring.
+
+        Returns ``None`` when the point sequence does not have at least
+        ``min_rec`` interesting periodic-intervals.  This is the single
+        place where raw interval tuples become result objects, shared by
+        all engines.
+        """
+        runs = interesting_intervals(timestamps, self.per, self.min_ps)
+        if len(runs) < self.min_rec:
+            return None
+        return RecurringPattern(
+            items=frozenset(items),
+            support=len(timestamps),
+            intervals=tuple(
+                PeriodicInterval(start, end, ps) for start, end, ps in runs
+            ),
+        )

@@ -1,0 +1,140 @@
+"""Threshold suggestion: picking ``per`` and ``minPS`` from the data.
+
+The model needs a user-supplied period threshold.  When the analyst
+has domain knowledge ("a day"), they set it; when they do not, the
+data itself offers two signals this module exposes:
+
+* the **gap spectrum** — the distribution of inter-arrival times of
+  the items.  A ``per`` at a chosen quantile of that distribution makes
+  the intended fraction of gaps periodic
+  (:func:`suggest_per`);
+* **statistically significant periods** of individual items, via the
+  Ma–Hellerstein chi-square detector
+  (:func:`significant_periods`), useful when the series mixes several
+  rhythms (a minute-level heartbeat next to daily backups).
+
+These are *suggestions* — the functions return numbers and the
+evidence behind them; they never mine implicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._validation import check_count
+from repro.baselines.period_detection import DetectedPeriod, detect_periods
+from repro.core.intervals import inter_arrival_times
+from repro.exceptions import EmptyDatabaseError, ParameterError
+from repro.timeseries.database import TransactionalDatabase
+from repro.timeseries.events import Item
+
+__all__ = ["PerSuggestion", "suggest_per", "significant_periods"]
+
+
+@dataclass(frozen=True)
+class PerSuggestion:
+    """A suggested period threshold with its supporting evidence."""
+
+    per: float
+    quantile: float
+    gap_count: int
+    median_gap: float
+    max_gap: float
+
+    def __str__(self) -> str:
+        return (
+            f"per={self.per:g} (q{self.quantile:.2f} of {self.gap_count} "
+            f"item gaps; median {self.median_gap:g}, max {self.max_gap:g})"
+        )
+
+
+def suggest_per(
+    database: TransactionalDatabase,
+    quantile: float = 0.9,
+    min_support: int = 2,
+) -> PerSuggestion:
+    """Suggest ``per`` as a quantile of the per-item gap spectrum.
+
+    Collects every item's inter-arrival times (items with fewer than
+    ``min_support`` occurrences contribute nothing) and returns the
+    requested quantile: with the default 0.9, nine in ten observed gaps
+    would count as periodic occurrences.
+
+    Examples
+    --------
+    >>> from repro.datasets import paper_running_example
+    >>> suggestion = suggest_per(paper_running_example(), quantile=0.75)
+    >>> suggestion.per
+    2
+    """
+    if not 0 < quantile <= 1:
+        raise ParameterError(
+            f"quantile must be in (0, 1], got {quantile!r}"
+        )
+    check_count(min_support, "min_support", minimum=2)
+    gaps: List[float] = []
+    for item, timestamps in database.item_timestamps().items():
+        if len(timestamps) >= min_support:
+            gaps.extend(inter_arrival_times(timestamps))
+    if not gaps:
+        raise EmptyDatabaseError(
+            "no item occurs often enough to measure gaps"
+        )
+    gaps.sort()
+    index = min(len(gaps) - 1, max(0, math.ceil(quantile * len(gaps)) - 1))
+    return PerSuggestion(
+        per=gaps[index],
+        quantile=quantile,
+        gap_count=len(gaps),
+        median_gap=gaps[len(gaps) // 2],
+        max_gap=gaps[-1],
+    )
+
+
+def significant_periods(
+    database: TransactionalDatabase,
+    items: Optional[Sequence[Item]] = None,
+    delta: float = 0.0,
+    top: int = 3,
+) -> Dict[Item, Tuple[DetectedPeriod, ...]]:
+    """Chi-square-significant periods per item.
+
+    Parameters
+    ----------
+    database:
+        The database to inspect.
+    items:
+        Which items to analyse (default: all).
+    delta:
+        Tolerance handed to
+        :func:`repro.baselines.period_detection.detect_periods`.
+    top:
+        Keep at most this many periods per item (strongest first).
+
+    Returns
+    -------
+    Mapping of item to its detected periods; items with none are
+    omitted.
+
+    Examples
+    --------
+    >>> db = TransactionalDatabase(
+    ...     [(ts, ["beat"]) for ts in range(0, 90, 3)])
+    >>> periods = significant_periods(db)
+    >>> [p.period for p in periods["beat"]]
+    [3]
+    """
+    check_count(top, "top")
+    index = database.item_timestamps()
+    wanted = list(index) if items is None else list(items)
+    result: Dict[Item, Tuple[DetectedPeriod, ...]] = {}
+    for item in wanted:
+        timestamps = index.get(item)
+        if not timestamps:
+            continue
+        detected = detect_periods(timestamps, delta=delta)
+        if detected:
+            result[item] = tuple(detected[:top])
+    return result

@@ -1,0 +1,205 @@
+"""RP-growth — the paper's pattern-growth miner (Algorithms 4–5).
+
+The miner proceeds bottom-up over a support-descending RP-tree.  For
+each suffix item it assembles the pattern's point sequence from the
+tail-node ts-lists, applies the ``Erec`` candidate test (Section 4.1),
+reports the pattern when its true recurrence passes ``minRec``
+(Algorithm 5 — implemented by
+:func:`repro.core.intervals.recurrence` /
+:meth:`~repro.core.model.ResolvedParameters.pattern_from_timestamps`),
+builds the conditional tree restricted to items that are themselves
+candidates within the conditional base, recurses, and finally pushes
+the suffix item's ts-lists up to the parents (Lemma 3) so the next
+header item sees complete occurrence information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro._validation import Number
+from repro.core.intervals import estimated_recurrence
+from repro.core.model import (
+    MiningParameters,
+    RecurringPattern,
+    RecurringPatternSet,
+    ResolvedParameters,
+)
+from repro.core.rp_list import RPList, build_rp_list
+from repro.core.rp_tree import RPTree, build_rp_tree
+from repro.timeseries.database import TransactionalDatabase
+from repro.timeseries.events import Item
+
+__all__ = ["MiningStats", "RPGrowth"]
+
+
+@dataclass
+class MiningStats:
+    """Counters describing one mining run (used by the ablation benches).
+
+    Attributes
+    ----------
+    candidate_items:
+        Candidate 1-patterns surviving the RP-list scan.
+    pruned_items:
+        Items removed by the ``Erec`` test during the first scan.
+    initial_tree_nodes:
+        Item nodes in the freshly built RP-tree (Lemma 2's quantity).
+    erec_evaluations:
+        How many patterns had their ``Erec`` bound computed.
+    candidate_patterns:
+        How many of those passed (``Erec ≥ minRec``) and were therefore
+        expanded.
+    recurrence_evaluations:
+        How many exact ``getRecurrence`` computations ran (one per
+        candidate pattern).
+    patterns_found:
+        Recurring patterns reported.
+    conditional_trees:
+        Conditional trees constructed.
+    """
+
+    candidate_items: int = 0
+    pruned_items: int = 0
+    initial_tree_nodes: int = 0
+    erec_evaluations: int = 0
+    candidate_patterns: int = 0
+    recurrence_evaluations: int = 0
+    patterns_found: int = 0
+    conditional_trees: int = 0
+
+
+class RPGrowth:
+    """The RP-growth mining engine.
+
+    Parameters
+    ----------
+    per, min_ps, min_rec:
+        The model thresholds (Definition 10).  ``min_ps`` may be an
+        absolute count or a fraction of the database size.
+
+    Examples
+    --------
+    >>> from repro.datasets import paper_running_example
+    >>> miner = RPGrowth(per=2, min_ps=3, min_rec=2)
+    >>> found = miner.mine(paper_running_example())
+    >>> len(found)
+    8
+    """
+
+    def __init__(
+        self,
+        per: Number,
+        min_ps: Union[int, float],
+        min_rec: int,
+        item_order: str = "support-desc",
+        max_length: Optional[int] = None,
+    ):
+        self.params = MiningParameters(per=per, min_ps=min_ps, min_rec=min_rec)
+        self.item_order = item_order
+        if max_length is not None and max_length < 1:
+            raise ValueError(f"max_length must be >= 1, got {max_length!r}")
+        self.max_length = max_length
+        self.last_stats: Optional[MiningStats] = None
+
+    def mine(self, database: TransactionalDatabase) -> RecurringPatternSet:
+        """Mine the complete set of recurring patterns in ``database``.
+
+        An empty database yields an empty result set.  Statistics about
+        the run are left in :attr:`last_stats`.
+        """
+        stats = MiningStats()
+        self.last_stats = stats
+        if len(database) == 0:
+            return RecurringPatternSet()
+        params = self.params.resolve(len(database))
+        rp_list = build_rp_list(database, params)
+        stats.candidate_items = len(rp_list.candidates)
+        stats.pruned_items = len(rp_list.entries) - len(rp_list.candidates)
+        if not rp_list.candidates:
+            return RecurringPatternSet()
+        tree, _ = build_rp_tree(
+            database, params, rp_list, item_order=self.item_order
+        )
+        stats.initial_tree_nodes = tree.node_count()
+        found: List[RecurringPattern] = []
+        self._mine_tree(tree, (), params, found, stats)
+        return RecurringPatternSet(found)
+
+    # ------------------------------------------------------------------
+    # Recursive pattern growth (Algorithm 4)
+    # ------------------------------------------------------------------
+    def _mine_tree(
+        self,
+        tree: RPTree,
+        suffix: Tuple[Item, ...],
+        params: ResolvedParameters,
+        found: List[RecurringPattern],
+        stats: MiningStats,
+    ) -> None:
+        for item in tree.header_bottom_up():
+            beta = suffix + (item,)
+            beta_ts = tree.pattern_timestamps(item)
+            stats.erec_evaluations += 1
+            if (
+                estimated_recurrence(beta_ts, params.per, params.min_ps)
+                >= params.min_rec
+            ):
+                stats.candidate_patterns += 1
+                stats.recurrence_evaluations += 1
+                pattern = params.pattern_from_timestamps(beta, beta_ts)
+                if pattern is not None:
+                    stats.patterns_found += 1
+                    found.append(pattern)
+                if self.max_length is None or len(beta) < self.max_length:
+                    conditional = self._conditional_tree(
+                        tree, item, params, stats
+                    )
+                    if conditional is not None:
+                        self._mine_tree(
+                            conditional, beta, params, found, stats
+                        )
+            tree.remove_item(item)
+
+    def _conditional_tree(
+        self,
+        tree: RPTree,
+        item: Item,
+        params: ResolvedParameters,
+        stats: MiningStats,
+    ) -> Optional[RPTree]:
+        """Build ``item``'s conditional tree, or ``None`` when empty.
+
+        The conditional pattern base credits every item on a prefix
+        path with the tail node's ts-list (Property 4); items whose
+        conditional ``Erec`` falls below ``minRec`` are dropped
+        (Properties 1–2), and the surviving paths are re-inserted in
+        the global item order.
+        """
+        base = tree.prefix_paths(item)
+        if not base:
+            return None
+        conditional_ts: Dict[Item, List[float]] = {}
+        for path, ts_list in base:
+            for path_item in path:
+                conditional_ts.setdefault(path_item, []).extend(ts_list)
+        keep = set()
+        for path_item, ts_list in conditional_ts.items():
+            ts_list.sort()
+            stats.erec_evaluations += 1
+            if (
+                estimated_recurrence(ts_list, params.per, params.min_ps)
+                >= params.min_rec
+            ):
+                keep.add(path_item)
+        if not keep:
+            return None
+        conditional = RPTree(tree.order)
+        for path, ts_list in base:
+            conditional.insert(
+                [path_item for path_item in path if path_item in keep],
+                ts_list,
+            )
+        stats.conditional_trees += 1
+        return conditional

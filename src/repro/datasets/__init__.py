@@ -1,0 +1,40 @@
+"""Workload generators and reference datasets.
+
+The paper evaluates on T10I4D100K (IBM Quest synthetic), the Shop-14
+clickstream and a 2013 Twitter hashtag corpus.  None of the latter two
+are redistributable, so this subpackage provides faithful synthetic
+stand-ins (see the substitution table in DESIGN.md) plus the paper's
+running example and a planted-pattern generator with ground truth.
+"""
+
+from repro.datasets.clickstream import ClickstreamConfig, generate_clickstream
+from repro.datasets.noise import apply_dropout, apply_jitter
+from repro.datasets.planted import (
+    PlantedBurst,
+    PlantedWorkload,
+    generate_planted_workload,
+)
+from repro.datasets.quest import QuestConfig, generate_quest
+from repro.datasets.running_example import (
+    paper_running_example,
+    paper_running_example_events,
+    paper_table2_patterns,
+)
+from repro.datasets.twitter import TwitterConfig, generate_twitter
+
+__all__ = [
+    "paper_running_example",
+    "paper_running_example_events",
+    "paper_table2_patterns",
+    "QuestConfig",
+    "generate_quest",
+    "ClickstreamConfig",
+    "generate_clickstream",
+    "TwitterConfig",
+    "generate_twitter",
+    "PlantedBurst",
+    "PlantedWorkload",
+    "generate_planted_workload",
+    "apply_dropout",
+    "apply_jitter",
+]

@@ -1,0 +1,92 @@
+"""Noise injection for robustness experiments.
+
+The paper's future-work section motivates handling noisy data; these
+helpers corrupt a clean database in the two canonical ways so the
+noise-tolerant miner (:mod:`repro.core.noise`) can be evaluated against
+ground truth:
+
+* **dropout** — each (item, transaction) occurrence is deleted
+  independently with probability ``rate`` (sensor misses, lost log
+  lines).  Dropout splits periodic runs, which is exactly what fault
+  credits repair;
+* **jitter** — each transaction's timestamp is displaced by a bounded
+  random offset (clock skew, batching).  Jitter stretches inter-arrival
+  times past ``per``, which a relaxed ``fault_per`` absorbs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro._validation import check_non_negative
+from repro.exceptions import ParameterError
+from repro.timeseries.database import TransactionalDatabase
+from repro.timeseries.events import Item
+
+__all__ = ["apply_dropout", "apply_jitter"]
+
+
+def apply_dropout(
+    database: TransactionalDatabase, rate: float, seed: int = 0
+) -> TransactionalDatabase:
+    """Delete each item occurrence independently with probability ``rate``.
+
+    Transactions that lose all their items disappear entirely (their
+    timestamp becomes silent).  Deterministic per seed.
+
+    Examples
+    --------
+    >>> db = TransactionalDatabase([(ts, "ab") for ts in range(10)])
+    >>> len(apply_dropout(db, rate=0.0)) == len(db)
+    True
+    >>> len(apply_dropout(db, rate=1.0))
+    0
+    """
+    if not 0 <= rate <= 1:
+        raise ParameterError(f"rate must be in [0, 1], got {rate!r}")
+    rng = np.random.default_rng(seed)
+    rows: List[Tuple[float, Tuple[Item, ...]]] = []
+    for ts, itemset in database:
+        survivors = tuple(
+            item
+            for item in sorted(itemset, key=repr)
+            if rng.random() >= rate
+        )
+        if survivors:
+            rows.append((ts, survivors))
+    return TransactionalDatabase(rows)
+
+
+def apply_jitter(
+    database: TransactionalDatabase,
+    max_offset: float,
+    seed: int = 0,
+) -> TransactionalDatabase:
+    """Displace each transaction's timestamp by U(-max_offset, +max_offset).
+
+    Relative transaction order is preserved (offsets are clamped so a
+    transaction never crosses its neighbours), and colliding timestamps
+    are merged by the database constructor as usual.
+    """
+    check_non_negative(max_offset, "max_offset")
+    if len(database) == 0 or max_offset == 0:
+        return database
+    rng = np.random.default_rng(seed)
+    timestamps = [ts for ts, _ in database]
+    jittered: List[float] = []
+    for index, ts in enumerate(timestamps):
+        # Keep every point strictly within half the gap to its original
+        # neighbours, so jittered points can never cross each other.
+        bound = max_offset
+        if index > 0:
+            bound = min(bound, 0.49 * (ts - timestamps[index - 1]))
+        if index + 1 < len(timestamps):
+            bound = min(bound, 0.49 * (timestamps[index + 1] - ts))
+        offset = rng.uniform(-bound, bound) if bound > 0 else 0.0
+        jittered.append(ts + offset)
+    return TransactionalDatabase(
+        (new_ts, itemset)
+        for new_ts, (_, itemset) in zip(jittered, database)
+    )

@@ -1,0 +1,187 @@
+"""Planted-pattern workloads with exact ground truth.
+
+Unlike the statistical stand-ins in :mod:`repro.datasets.quest`,
+:mod:`repro.datasets.clickstream` and :mod:`repro.datasets.twitter`,
+this generator *constructs* the recurring patterns it plants — every
+planted itemset occurs at explicitly chosen timestamps, so the expected
+mining output (pattern, support, recurrence, exact interval boundaries)
+is known in advance.  The recall tests in
+``tests/datasets/test_planted.py`` and the integration suite use it to
+verify end-to-end correctness on data the miners have never seen.
+
+Noise items are drawn from a disjoint alphabet at timestamps chosen to
+never form interesting intervals of their own (each noise item occurs
+at most ``min_ps - 1`` times consecutively within ``per``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro._validation import check_count, check_positive
+from repro.core.model import (
+    PeriodicInterval,
+    RecurringPattern,
+    ResolvedParameters,
+)
+from repro.exceptions import ParameterError
+from repro.timeseries.database import TransactionalDatabase
+
+__all__ = ["PlantedBurst", "PlantedWorkload", "generate_planted_workload"]
+
+
+@dataclass(frozen=True)
+class PlantedBurst:
+    """One planted periodic episode of an itemset.
+
+    The itemset occurs at ``start, start + step, …`` for ``count``
+    occurrences; with ``step <= per`` this forms exactly one
+    periodic-interval ``[start, start + (count - 1) * step]`` of
+    periodic-support ``count``.
+    """
+
+    items: Tuple[str, ...]
+    start: int
+    step: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise ParameterError("a planted burst needs at least one item")
+        check_count(self.step, "step")
+        check_count(self.count, "count")
+
+    @property
+    def end(self) -> int:
+        return self.start + (self.count - 1) * self.step
+
+    def timestamps(self) -> Tuple[int, ...]:
+        """The exact occurrence timestamps of the burst."""
+        return tuple(
+            self.start + occurrence * self.step
+            for occurrence in range(self.count)
+        )
+
+
+@dataclass(frozen=True)
+class PlantedWorkload:
+    """A generated database plus the patterns guaranteed to be in it."""
+
+    database: TransactionalDatabase
+    expected: Tuple[RecurringPattern, ...]
+    per: int
+    min_ps: int
+    min_rec: int
+
+
+def generate_planted_workload(
+    per: int = 5,
+    min_ps: int = 4,
+    min_rec: int = 2,
+    n_patterns: int = 3,
+    pattern_size: int = 2,
+    noise_items: int = 10,
+    noise_rate: float = 0.3,
+    seed: int = 0,
+) -> PlantedWorkload:
+    """Build a database containing ``n_patterns`` known recurring patterns.
+
+    Each planted itemset gets exactly ``min_rec`` bursts of
+    ``min_ps + burst_index`` occurrences with step ``per``, separated by
+    silent spans longer than ``per``, so its expected recurrence is
+    exactly ``min_rec`` and its interval boundaries are known.  Planted
+    itemsets use the alphabet ``P<k>_<j>``; noise uses ``n<k>``.
+
+    Noise occurrences are placed so that each noise item never
+    accumulates ``min_ps`` occurrences within one periodic run: after at
+    most ``min_ps - 1`` hits, a forced gap of ``2 * per`` is inserted.
+    """
+    check_positive(per, "per")
+    check_count(min_ps, "min_ps")
+    check_count(min_rec, "min_rec")
+    check_count(n_patterns, "n_patterns")
+    check_count(pattern_size, "pattern_size")
+    rng = np.random.default_rng(seed)
+
+    rows: Dict[int, Set[str]] = {}
+    expected: List[RecurringPattern] = []
+    cursor = 1
+    for pattern_index in range(n_patterns):
+        items = tuple(
+            f"P{pattern_index}_{j}" for j in range(pattern_size)
+        )
+        bursts: List[PlantedBurst] = []
+        for burst_index in range(min_rec):
+            count = min_ps + burst_index
+            burst = PlantedBurst(items, start=cursor, step=per, count=count)
+            bursts.append(burst)
+            for ts in burst.timestamps():
+                rows.setdefault(ts, set()).update(items)
+            # Silence strictly longer than per so runs cannot merge.
+            cursor = burst.end + 2 * per + 1
+        support = sum(burst.count for burst in bursts)
+        intervals = tuple(
+            PeriodicInterval(burst.start, burst.end, burst.count)
+            for burst in bursts
+        )
+        # The items of a planted pattern always co-occur, so every
+        # non-empty subset shares the same point sequence and is itself
+        # an expected recurring pattern with identical metadata.
+        for size in range(1, len(items) + 1):
+            for subset in combinations(items, size):
+                expected.append(
+                    RecurringPattern(
+                        items=frozenset(subset),
+                        support=support,
+                        intervals=intervals,
+                    )
+                )
+        cursor += int(rng.integers(0, per))  # stagger the next pattern
+
+    _add_noise(rng, rows, cursor, per, min_ps, noise_items, noise_rate)
+    database = TransactionalDatabase(
+        (ts, tuple(items)) for ts, items in rows.items()
+    )
+    return PlantedWorkload(
+        database=database,
+        expected=tuple(expected),
+        per=per,
+        min_ps=min_ps,
+        min_rec=min_rec,
+    )
+
+
+def _add_noise(
+    rng: np.random.Generator,
+    rows: Dict[int, Set[str]],
+    horizon: int,
+    per: int,
+    min_ps: int,
+    noise_items: int,
+    noise_rate: float,
+) -> None:
+    """Scatter noise items that can never become recurring on their own.
+
+    Each noise item walks forward from a random start; after at most
+    ``min_ps - 1`` occurrences within ``per`` of each other it jumps by
+    more than ``per``, so every one of its periodic runs has
+    periodic-support < ``min_ps``.
+    """
+    if noise_items <= 0 or noise_rate <= 0:
+        return
+    for noise_index in range(noise_items):
+        ts = 1 + int(rng.integers(0, max(1, per)))
+        consecutive = 0
+        while ts < horizon:
+            if rng.random() < noise_rate:
+                rows.setdefault(ts, set()).add(f"n{noise_index}")
+                consecutive += 1
+            if consecutive >= min_ps - 1:
+                ts += 2 * per + 1
+                consecutive = 0
+            else:
+                ts += 1 + int(rng.integers(0, per))

@@ -1,0 +1,74 @@
+"""The paper's running example (Figure 1 / Table 1 / Table 2).
+
+Used throughout the test suite to check every algorithm step against
+the worked numbers in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.timeseries.database import TransactionalDatabase
+from repro.timeseries.events import EventSequence
+
+__all__ = [
+    "paper_running_example",
+    "paper_running_example_events",
+    "paper_table2_patterns",
+]
+
+# Table 1 of the paper.  Timestamps 8 and 13 have no events.
+_TABLE_1: Tuple[Tuple[int, str], ...] = (
+    (1, "abg"),
+    (2, "acd"),
+    (3, "abef"),
+    (4, "abcd"),
+    (5, "cdefg"),
+    (6, "efg"),
+    (7, "abcg"),
+    (9, "cd"),
+    (10, "cdef"),
+    (11, "abef"),
+    (12, "abcdefg"),
+    (14, "abg"),
+)
+
+
+def paper_running_example() -> TransactionalDatabase:
+    """The transactional database of Table 1.
+
+    >>> db = paper_running_example()
+    >>> len(db)
+    12
+    >>> db.timestamps_of("ab")
+    (1, 3, 4, 7, 11, 12, 14)
+    """
+    return TransactionalDatabase(
+        (ts, tuple(items)) for ts, items in _TABLE_1
+    )
+
+
+def paper_running_example_events() -> EventSequence:
+    """The same data as a raw time-based event sequence (Figure 1)."""
+    return EventSequence(
+        (item, ts) for ts, items in _TABLE_1 for item in items
+    )
+
+
+def paper_table2_patterns() -> Dict[str, Tuple[int, int, List[Tuple[int, int, int]]]]:
+    """Expected output of mining at ``per=2, minPS=3, minRec=2``.
+
+    Table 2 of the paper, as
+    ``{items: (support, recurrence, [(start, end, ps), ...])}`` with
+    items given as a sorted string.
+    """
+    return {
+        "a": (8, 2, [(1, 4, 4), (11, 14, 3)]),
+        "b": (7, 2, [(1, 4, 3), (11, 14, 3)]),
+        "d": (6, 2, [(2, 5, 3), (9, 12, 3)]),
+        "e": (6, 2, [(3, 6, 3), (10, 12, 3)]),
+        "f": (6, 2, [(3, 6, 3), (10, 12, 3)]),
+        "ab": (7, 2, [(1, 4, 3), (11, 14, 3)]),
+        "cd": (6, 2, [(2, 5, 3), (9, 12, 3)]),
+        "ef": (6, 2, [(3, 6, 3), (10, 12, 3)]),
+    }

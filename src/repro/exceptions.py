@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch one base class.  Parameter
+problems additionally derive from :class:`ValueError` and data problems
+from :class:`ValueError` as well, which keeps the library friendly to
+code that only expects the built-in types.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "DataFormatError",
+    "EmptyDatabaseError",
+    "SearchSpaceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A mining or generation parameter is out of its documented domain.
+
+    Examples: a negative ``per``, ``min_ps`` of zero, a fraction
+    threshold outside ``(0, 1]``.
+    """
+
+
+class DataFormatError(ReproError, ValueError):
+    """Input data violates the documented format.
+
+    Examples: an event file line with no timestamp, a transaction with
+    an unparsable timestamp, unsorted input where sorted input was
+    promised.
+    """
+
+
+class EmptyDatabaseError(ReproError, ValueError):
+    """An operation that needs at least one transaction got none."""
+
+
+class SearchSpaceError(ReproError, RuntimeError):
+    """The requested exhaustive search would be astronomically large.
+
+    Raised by the reference (naive) miner when the item universe exceeds
+    its configured limit; the purpose of that miner is ground-truth
+    verification on small inputs, not production mining.
+    """

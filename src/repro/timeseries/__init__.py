@@ -1,0 +1,58 @@
+"""Time-series substrate: events, point sequences and transactional databases.
+
+This subpackage implements Definitions 1–2 of the paper (event sequence,
+point sequence) and the temporally ordered transactional database the
+recurring-pattern model is defined over, together with the
+transformation between the two representations and file I/O.
+"""
+
+from repro.timeseries.calendar import (
+    MINUTES_PER_DAY,
+    MINUTES_PER_HOUR,
+    MINUTES_PER_WEEK,
+    day_and_time,
+    day_of,
+    format_minutes,
+    hour_of_day,
+    minute_of_day,
+    minutes,
+)
+from repro.timeseries.database import Transaction, TransactionalDatabase
+from repro.timeseries.events import Event, EventSequence
+from repro.timeseries.io import (
+    load_event_sequence,
+    load_transactional_database,
+    save_event_sequence,
+    save_transactional_database,
+)
+from repro.timeseries.stats import DatabaseStats, describe_database
+from repro.timeseries.transform import (
+    database_to_events,
+    discretize_timestamps,
+    events_to_database,
+)
+
+__all__ = [
+    "Event",
+    "EventSequence",
+    "Transaction",
+    "TransactionalDatabase",
+    "events_to_database",
+    "database_to_events",
+    "discretize_timestamps",
+    "load_event_sequence",
+    "save_event_sequence",
+    "load_transactional_database",
+    "save_transactional_database",
+    "DatabaseStats",
+    "describe_database",
+    "MINUTES_PER_HOUR",
+    "MINUTES_PER_DAY",
+    "MINUTES_PER_WEEK",
+    "minutes",
+    "day_of",
+    "minute_of_day",
+    "hour_of_day",
+    "day_and_time",
+    "format_minutes",
+]

@@ -1,0 +1,97 @@
+"""Calendar arithmetic over minute-granularity timestamps.
+
+The paper's real workloads — and this library's synthetic stand-ins —
+use *minutes since a stream epoch* as the timestamp unit, with common
+thresholds like "six hours" (360) or "one day" (1440).  These helpers
+centralise that arithmetic so examples and analyses stop hand-rolling
+``// 1440``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro._validation import Number, check_non_negative
+
+__all__ = [
+    "MINUTES_PER_HOUR",
+    "MINUTES_PER_DAY",
+    "MINUTES_PER_WEEK",
+    "minutes",
+    "day_of",
+    "minute_of_day",
+    "hour_of_day",
+    "day_and_time",
+    "format_minutes",
+]
+
+MINUTES_PER_HOUR = 60
+MINUTES_PER_DAY = 24 * MINUTES_PER_HOUR
+MINUTES_PER_WEEK = 7 * MINUTES_PER_DAY
+
+
+def minutes(
+    days: Number = 0, hours: Number = 0, mins: Number = 0
+) -> float:
+    """Compose a duration in minutes.
+
+    Examples
+    --------
+    >>> minutes(days=1)
+    1440
+    >>> minutes(hours=6)
+    360
+    >>> minutes(days=1, hours=2, mins=30)
+    1590
+    """
+    check_non_negative(days, "days")
+    check_non_negative(hours, "hours")
+    check_non_negative(mins, "mins")
+    total = days * MINUTES_PER_DAY + hours * MINUTES_PER_HOUR + mins
+    return int(total) if float(total).is_integer() else total
+
+
+def day_of(ts: Number) -> int:
+    """The (0-based) day index a minute timestamp falls on.
+
+    Examples
+    --------
+    >>> day_of(1439), day_of(1440)
+    (0, 1)
+    """
+    return int(ts // MINUTES_PER_DAY)
+
+
+def minute_of_day(ts: Number) -> int:
+    """Minutes since that day's midnight."""
+    return int(ts % MINUTES_PER_DAY)
+
+
+def hour_of_day(ts: Number) -> int:
+    """The hour-of-day (0-23) of a minute timestamp."""
+    return minute_of_day(ts) // MINUTES_PER_HOUR
+
+
+def day_and_time(ts: Number) -> Tuple[int, int, int]:
+    """``(day, hour, minute)`` decomposition of a minute timestamp.
+
+    Examples
+    --------
+    >>> day_and_time(minutes(days=3, hours=14, mins=5))
+    (3, 14, 5)
+    """
+    day = day_of(ts)
+    remainder = minute_of_day(ts)
+    return day, remainder // MINUTES_PER_HOUR, remainder % MINUTES_PER_HOUR
+
+
+def format_minutes(ts: Number) -> str:
+    """Human form ``d<day> HH:MM`` of a minute timestamp.
+
+    Examples
+    --------
+    >>> format_minutes(minutes(days=51, hours=1, mins=8))
+    'd51 01:08'
+    """
+    day, hour, minute = day_and_time(ts)
+    return f"d{day} {hour:02d}:{minute:02d}"

@@ -1,0 +1,219 @@
+"""Plain-text readers and writers for event sequences and databases.
+
+Two line-oriented formats are supported, both friendly to shell tools:
+
+* **event format** — one event per line: ``<ts><TAB><item>``;
+* **transaction format** — one transaction per line:
+  ``<ts><TAB><item> <item> ...`` (items separated by single spaces).
+
+Timestamps are parsed as ``int`` when possible, otherwise ``float``.
+Blank lines and lines starting with ``#`` are ignored.  Malformed lines
+raise :class:`~repro.exceptions.DataFormatError` with the line number.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, Iterator, List, Tuple, Union
+
+from repro.exceptions import DataFormatError
+from repro.timeseries.database import TransactionalDatabase
+from repro.timeseries.events import EventSequence
+
+PathOrFile = Union[str, "os.PathLike[str]", IO[str]]
+
+__all__ = [
+    "load_event_sequence",
+    "save_event_sequence",
+    "load_transactional_database",
+    "save_transactional_database",
+    "load_spmf_transactions",
+    "save_spmf_transactions",
+]
+
+
+def load_event_sequence(source: PathOrFile) -> EventSequence:
+    """Read an event sequence from ``source`` (path or open text file)."""
+    pairs = []
+    for line_no, line in _lines(source):
+        parts = line.split("\t")
+        if len(parts) != 2 or not parts[1]:
+            raise DataFormatError(
+                f"line {line_no}: expected '<ts>\\t<item>', got {line!r}"
+            )
+        pairs.append((parts[1], _parse_ts(parts[0], line_no)))
+    return EventSequence(pairs)
+
+
+def save_event_sequence(events: EventSequence, target: PathOrFile) -> None:
+    """Write an event sequence in event format.
+
+    Items whose string form contains a tab or newline cannot be
+    represented in the format and raise
+    :class:`~repro.exceptions.DataFormatError` (silent corruption would
+    be worse).
+    """
+    tab_or_newline = "\t\n"
+    with _open_for_write(target) as handle:
+        for event in events:
+            item_text = _checked_item(event.item, separators=tab_or_newline)
+            handle.write(f"{_format_ts(event.ts)}\t{item_text}\n")
+
+
+def load_transactional_database(source: PathOrFile) -> TransactionalDatabase:
+    """Read a transactional database from ``source``."""
+    rows: List[Tuple[float, List[str]]] = []
+    for line_no, line in _lines(source):
+        parts = line.split("\t")
+        if len(parts) != 2 or not parts[1].strip():
+            raise DataFormatError(
+                f"line {line_no}: expected '<ts>\\t<items>', got {line!r}"
+            )
+        items = parts[1].split()
+        rows.append((_parse_ts(parts[0], line_no), items))
+    return TransactionalDatabase(rows)
+
+
+def save_transactional_database(
+    database: TransactionalDatabase, target: PathOrFile
+) -> None:
+    """Write a database in transaction format (items sorted per line).
+
+    Items whose string form contains whitespace cannot be represented
+    (the format separates items with spaces) and raise
+    :class:`~repro.exceptions.DataFormatError`.
+    """
+    with _open_for_write(target) as handle:
+        for ts, itemset in database:
+            items = " ".join(
+                _checked_item(item, separators=" \t\n")
+                for item in sorted(itemset, key=repr)
+            )
+            handle.write(f"{_format_ts(ts)}\t{items}\n")
+
+
+def load_spmf_transactions(
+    source: PathOrFile, start_ts: int = 1
+) -> TransactionalDatabase:
+    """Read an SPMF-style transaction file.
+
+    The SPMF library (whose format much of the periodic-pattern-mining
+    ecosystem shares) writes one transaction per line as space-separated
+    items, with ``@``-prefixed metadata lines and ``%`` comments.  The
+    format has no timestamps, so — exactly like the paper does for
+    T10I4D100K — consecutive integer timestamps starting at
+    ``start_ts`` are assigned in file order.
+
+    Lines containing the sequence markers ``-1``/``-2`` are rejected:
+    that is SPMF's *sequence* format, which holds ordering information
+    this loader would silently discard.
+    """
+    rows: List[Tuple[float, List[str]]] = []
+    ts = start_ts
+    for line_no, line in _lines(source):
+        stripped = line.strip()
+        if stripped.startswith("@") or stripped.startswith("%"):
+            continue
+        items = stripped.split()
+        if "-1" in items or "-2" in items:
+            raise DataFormatError(
+                f"line {line_no}: SPMF sequence markers found; this is a "
+                "sequence file, not a transaction file"
+            )
+        rows.append((ts, items))
+        ts += 1
+    return TransactionalDatabase(rows)
+
+
+def save_spmf_transactions(
+    database: TransactionalDatabase, target: PathOrFile
+) -> None:
+    """Write a database as SPMF transactions (timestamps are dropped).
+
+    Items are sorted per line for determinism.  The temporal structure
+    beyond transaction order is lost — that is inherent to the format,
+    and precisely the limitation of symbolic-sequence mining the paper
+    discusses.
+    """
+    with _open_for_write(target) as handle:
+        for _, itemset in database:
+            items = " ".join(
+                _checked_item(item, separators=" \t\n")
+                for item in sorted(itemset, key=repr)
+            )
+            handle.write(items + "\n")
+
+
+# ----------------------------------------------------------------------
+# Internal helpers
+# ----------------------------------------------------------------------
+def _lines(source: PathOrFile) -> Iterator[Tuple[int, str]]:
+    """Yield (line_number, stripped_line), skipping blanks and comments."""
+    if hasattr(source, "read"):
+        yield from _iter_handle(source)  # type: ignore[arg-type]
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from _iter_handle(handle)
+
+
+def _iter_handle(handle: IO[str]) -> Iterator[Tuple[int, str]]:
+    for line_no, raw in enumerate(handle, start=1):
+        line = raw.rstrip("\n")
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        yield line_no, line
+
+
+class _WriteContext:
+    """Context manager that opens paths but leaves open handles alone."""
+
+    def __init__(self, target: PathOrFile):
+        self._target = target
+        self._owned = not hasattr(target, "write")
+        self._handle: IO[str] = None  # type: ignore[assignment]
+
+    def __enter__(self) -> IO[str]:
+        if self._owned:
+            self._handle = open(self._target, "w", encoding="utf-8")
+        else:
+            self._handle = self._target  # type: ignore[assignment]
+        return self._handle
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._owned:
+            self._handle.close()
+
+
+def _open_for_write(target: PathOrFile) -> _WriteContext:
+    return _WriteContext(target)
+
+
+def _parse_ts(text: str, line_no: int) -> float:
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise DataFormatError(
+            f"line {line_no}: unparsable timestamp {text!r}"
+        ) from exc
+
+
+def _checked_item(item: object, separators: str) -> str:
+    """Stringify ``item``, refusing strings the format cannot hold."""
+    text = str(item)
+    if not text or any(ch in text for ch in separators):
+        raise DataFormatError(
+            f"item {text!r} cannot be written: it is empty or contains "
+            "a separator character of the file format"
+        )
+    return text
+
+
+def _format_ts(ts: float) -> str:
+    if isinstance(ts, int) or (isinstance(ts, float) and ts.is_integer()):
+        return str(int(ts))
+    return repr(ts)

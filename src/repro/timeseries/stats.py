@@ -1,0 +1,96 @@
+"""Descriptive statistics over transactional databases.
+
+Used by the benchmark harness to report workload shape (the kind of
+numbers papers quote: transaction count, item count, average transaction
+length, timestamp span, inter-transaction gap profile) and by the
+examples to plot per-period item frequencies (Figure 8 of the paper).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro._validation import check_positive
+from repro.exceptions import EmptyDatabaseError
+from repro.timeseries.database import TransactionalDatabase
+from repro.timeseries.events import Item
+
+__all__ = ["DatabaseStats", "describe_database", "item_frequency_series"]
+
+
+@dataclass(frozen=True)
+class DatabaseStats:
+    """Shape summary of a transactional database."""
+
+    transaction_count: int
+    item_count: int
+    start: float
+    end: float
+    mean_transaction_length: float
+    max_transaction_length: int
+    mean_gap: float
+    max_gap: float
+
+    def as_rows(self) -> List[Tuple[str, str]]:
+        """Key/value rows for tabular display."""
+        return [
+            ("transactions", str(self.transaction_count)),
+            ("distinct items", str(self.item_count)),
+            ("time span", f"[{self.start:g}, {self.end:g}]"),
+            ("mean |transaction|", f"{self.mean_transaction_length:.2f}"),
+            ("max |transaction|", str(self.max_transaction_length)),
+            ("mean gap", f"{self.mean_gap:.2f}"),
+            ("max gap", f"{self.max_gap:g}"),
+        ]
+
+
+def describe_database(database: TransactionalDatabase) -> DatabaseStats:
+    """Compute :class:`DatabaseStats` for ``database``.
+
+    Raises :class:`~repro.exceptions.EmptyDatabaseError` on an empty
+    database — there is nothing meaningful to describe.
+    """
+    if len(database) == 0:
+        raise EmptyDatabaseError("cannot describe an empty database")
+    lengths = [len(itemset) for _, itemset in database]
+    timestamps = [ts for ts, _ in database]
+    gaps = [b - a for a, b in zip(timestamps, timestamps[1:])]
+    return DatabaseStats(
+        transaction_count=len(database),
+        item_count=len(database.items()),
+        start=database.start,
+        end=database.end,
+        mean_transaction_length=statistics.fmean(lengths),
+        max_transaction_length=max(lengths),
+        mean_gap=statistics.fmean(gaps) if gaps else 0.0,
+        max_gap=max(gaps) if gaps else 0.0,
+    )
+
+
+def item_frequency_series(
+    database: TransactionalDatabase,
+    items: Iterable[Item],
+    bucket: float,
+) -> Dict[Item, Dict[float, int]]:
+    """Occurrence counts of ``items`` per time bucket of width ``bucket``.
+
+    This is the computation behind Figure 8 of the paper (daily hashtag
+    frequencies): bucket = 1440 minutes yields per-day counts.  Bucket
+    edges are anchored at the database start; the returned inner mapping
+    goes from bucket left edge to count and contains only non-empty
+    buckets.
+    """
+    check_positive(bucket, "bucket")
+    wanted = set(items)
+    if len(database) == 0:
+        return {item: {} for item in wanted}
+    origin = database.start
+    series: Dict[Item, Dict[float, int]] = {item: {} for item in wanted}
+    for ts, itemset in database:
+        edge = origin + ((ts - origin) // bucket) * bucket
+        for item in itemset & wanted:
+            bucket_counts = series[item]
+            bucket_counts[edge] = bucket_counts.get(edge, 0) + 1
+    return series

@@ -1,0 +1,118 @@
+"""Terminal visualisations for recurring patterns.
+
+A recurring pattern is fundamentally a *temporal* object — the value of
+the model over p-patterns is exactly the when.  These helpers render
+that temporal structure in plain text so it survives logs, CI output
+and code review:
+
+* :func:`render_timeline` — one row per pattern, periodic intervals
+  drawn as filled blocks along a shared time axis (a textual Gantt
+  chart of the seasons);
+* :func:`render_sparkline` — a unicode sparkline for frequency series
+  (the Figure 8 shape at a glance);
+* :func:`render_interval_ruler` — the axis line with tick labels,
+  shared by the timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro._validation import check_count
+from repro.core.model import RecurringPattern
+
+__all__ = ["render_timeline", "render_sparkline", "render_interval_ruler"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_FILLED = "█"
+_EMPTY = "·"
+
+
+def render_timeline(
+    patterns: Iterable[RecurringPattern],
+    start: float,
+    end: float,
+    width: int = 60,
+) -> str:
+    """Draw each pattern's interesting intervals along a time axis.
+
+    Parameters
+    ----------
+    patterns:
+        The patterns to draw (one row each, labelled by their items).
+    start, end:
+        The time range of the axis (usually the database span).
+    width:
+        Number of character cells for the axis.
+
+    Examples
+    --------
+    >>> from repro.datasets import paper_running_example
+    >>> from repro import mine_recurring_patterns
+    >>> found = mine_recurring_patterns(
+    ...     paper_running_example(), per=2, min_ps=3, min_rec=2)
+    >>> print(render_timeline([found.pattern("ab")], 1, 14, width=14))
+    a b |████······████|
+        1^           ^14
+    """
+    check_count(width, "width", minimum=2)
+    if end < start:
+        raise ValueError(f"end {end} precedes start {start}")
+    rows: List[Tuple[str, str]] = []
+    for pattern in patterns:
+        label = " ".join(str(item) for item in pattern.sorted_items())
+        cells = [_EMPTY] * width
+        for interval in pattern.intervals:
+            first = _cell(interval.start, start, end, width)
+            last = _cell(interval.end, start, end, width)
+            for cell in range(first, last + 1):
+                cells[cell] = _FILLED
+        rows.append((label, "".join(cells)))
+    if not rows:
+        return render_interval_ruler(start, end, width)
+    label_width = max(len(label) for label, _ in rows)
+    lines = [
+        f"{label.rjust(label_width)} |{cells}|" for label, cells in rows
+    ]
+    ruler = render_interval_ruler(start, end, width)
+    lines.append(" " * (label_width + 1) + ruler)
+    return "\n".join(lines)
+
+
+def render_interval_ruler(start: float, end: float, width: int = 60) -> str:
+    """The axis legend: ``start^  …  ^end`` aligned under the cells."""
+    check_count(width, "width", minimum=2)
+    left = f"{start:g}^"
+    right = f"^{end:g}"
+    gap = max(0, width + 2 - len(left) - len(right))
+    return left + " " * gap + right
+
+
+def render_sparkline(values: Sequence[float]) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    Examples
+    --------
+    >>> render_sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    '▁▂▃▄▅▆▇█'
+    >>> render_sparkline([5, 5, 5])
+    '▁▁▁'
+    """
+    series = list(values)
+    if not series:
+        return ""
+    low = min(series)
+    high = max(series)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(series)
+    scale = (len(_SPARK_LEVELS) - 1) / (high - low)
+    return "".join(
+        _SPARK_LEVELS[round((value - low) * scale)] for value in series
+    )
+
+
+def _cell(ts: float, start: float, end: float, width: int) -> int:
+    if end == start:
+        return 0
+    position = (ts - start) / (end - start)
+    return min(width - 1, max(0, int(position * (width - 1) + 0.5)))

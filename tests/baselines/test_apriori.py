@@ -1,0 +1,68 @@
+"""Unit tests for Apriori, including equivalence with FP-growth."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.apriori import (
+    generate_candidates,
+    mine_frequent_patterns_apriori,
+)
+from repro.baselines.fp_growth import mine_frequent_patterns
+from repro.timeseries.database import TransactionalDatabase
+from tests.conftest import small_databases
+
+
+class TestCandidateGeneration:
+    def test_join_step(self):
+        frequent = {frozenset("ab"), frozenset("ac"), frozenset("bc")}
+        assert generate_candidates(frequent) == {frozenset("abc")}
+
+    def test_prune_step_blocks_missing_subset(self):
+        frequent = {frozenset("ab"), frozenset("ac")}  # bc missing
+        assert generate_candidates(frequent) == set()
+
+    def test_singletons_join_freely(self):
+        frequent = {frozenset("a"), frozenset("b")}
+        assert generate_candidates(frequent) == {frozenset("ab")}
+
+    def test_empty_input(self):
+        assert generate_candidates(set()) == set()
+
+
+class TestMining:
+    def test_running_example(self, running_example):
+        found = mine_frequent_patterns_apriori(running_example, 6)
+        assert found.pattern("cd").support == 6
+        assert found.pattern("ab").support == 7
+
+    def test_max_length(self, running_example):
+        found = mine_frequent_patterns_apriori(running_example, 6, max_length=1)
+        assert found.max_length() == 1
+
+    def test_empty_database(self):
+        assert len(
+            mine_frequent_patterns_apriori(TransactionalDatabase(), 1)
+        ) == 0
+
+
+class TestEquivalenceWithFPGrowth:
+    def test_running_example_all_thresholds(self, running_example):
+        for min_sup in range(1, 13):
+            apriori = mine_frequent_patterns_apriori(running_example, min_sup)
+            fp = mine_frequent_patterns(running_example, min_sup)
+            assert apriori.itemsets() == fp.itemsets(), min_sup
+            for pattern in apriori:
+                assert fp.pattern(pattern.items).support == pattern.support
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(db=small_databases(), min_sup=st.integers(1, 6))
+    def test_random_databases(self, db, min_sup):
+        apriori = mine_frequent_patterns_apriori(db, min_sup)
+        fp = mine_frequent_patterns(db, min_sup)
+        assert apriori.itemsets() == fp.itemsets()
+        for pattern in apriori:
+            assert fp.pattern(pattern.items).support == pattern.support

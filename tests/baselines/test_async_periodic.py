@@ -1,0 +1,112 @@
+"""Tests for asynchronous periodic patterns (Yang et al.)."""
+
+import pytest
+
+from repro.baselines.async_periodic import (
+    AsyncPeriodicPattern,
+    Segment,
+    longest_valid_subsequence,
+    mine_async_periodic_patterns,
+)
+from repro.exceptions import ParameterError
+from repro.timeseries.database import TransactionalDatabase
+
+
+class TestLongestValidSubsequence:
+    def test_single_perfect_run(self):
+        reps, segments = longest_valid_subsequence([0, 3, 6, 9], 3, 2, 0)
+        assert reps == 4
+        assert segments == (Segment(0, 9, 4),)
+
+    def test_two_segments_chained_within_disturbance(self):
+        reps, segments = longest_valid_subsequence(
+            [0, 3, 6, 13, 16, 19], 3, 2, 10
+        )
+        assert reps == 6
+        assert len(segments) == 2
+
+    def test_disturbance_bound_blocks_chaining(self):
+        reps, segments = longest_valid_subsequence(
+            [0, 3, 6, 13, 16, 19], 3, 2, 2
+        )
+        assert reps == 3  # best single segment
+        assert len(segments) == 1
+
+    def test_phase_shift_across_disturbance_allowed(self):
+        # Second segment starts at 8: phase shifted by 2 relative to
+        # continuing the first run (asynchronous!).
+        reps, segments = longest_valid_subsequence(
+            [0, 3, 8, 11, 14], 3, 2, 4
+        )
+        assert reps == 5
+        assert [s.start for s in segments] == [0, 8]
+
+    def test_min_rep_filters_short_runs(self):
+        reps, _ = longest_valid_subsequence([0, 3, 10], 3, 2, 100)
+        assert reps == 2  # the lone position 10 is not a valid segment
+
+    def test_no_valid_segment(self):
+        assert longest_valid_subsequence([0, 5, 11], 3, 2, 1) == (0, ())
+
+    def test_empty_positions(self):
+        assert longest_valid_subsequence([], 3, 1, 1) == (0, ())
+
+    def test_chains_prefer_total_repetitions(self):
+        # One long segment beats two short chained ones.
+        positions = [0, 3, 6, 9, 12, 15, 18, 100, 103, 110, 113]
+        reps, segments = longest_valid_subsequence(positions, 3, 2, 5)
+        assert reps == 7
+        assert segments[0].start == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            longest_valid_subsequence([0], 0, 1, 1)
+        with pytest.raises(ParameterError):
+            longest_valid_subsequence([0], 1, 0, 1)
+        with pytest.raises(ParameterError):
+            longest_valid_subsequence([0], 1, 1, -1)
+
+
+class TestMining:
+    def test_single_items_and_pairs(self):
+        seq = [frozenset("ab"), frozenset("c")] * 5
+        patterns = mine_async_periodic_patterns(seq, 2, 3, 0)
+        names = {"".join(p.sorted_items()) for p in patterns}
+        assert names == {"a", "b", "c", "ab"}
+
+    def test_superset_positions_are_subset(self):
+        seq = [frozenset("ab"), frozenset("a"), frozenset("ab")] * 4
+        patterns = mine_async_periodic_patterns(seq, 1, 2, 2)
+        by_items = {"".join(p.sorted_items()): p for p in patterns}
+        assert by_items["a"].repetitions >= by_items["ab"].repetitions
+
+    def test_accepts_database_input(self, running_example):
+        patterns = mine_async_periodic_patterns(
+            running_example, period=2, min_rep=2, max_dis=3
+        )
+        assert any(p.length >= 2 for p in patterns)
+
+    def test_max_length_caps_itemsets(self):
+        seq = [frozenset("abc")] * 6
+        patterns = mine_async_periodic_patterns(
+            seq, 1, 2, 0, max_length=2
+        )
+        assert max(p.length for p in patterns) == 2
+
+    def test_str(self):
+        pattern = AsyncPeriodicPattern(
+            frozenset("ab"), 2, 5, (Segment(0, 8, 5),)
+        )
+        assert str(pattern) == "ab [period=2, reps=5, {[0..8]x5}]"
+
+
+class TestPositionBlindness:
+    def test_positions_not_timestamps(self):
+        # The same criticism as for segment-based patterns: silent time
+        # is invisible, so a daily and a yearly alternation at the same
+        # POSITIONS are indistinguishable.
+        dense = TransactionalDatabase([(i, "a") for i in range(8)])
+        sparse = TransactionalDatabase([(i * 1000, "a") for i in range(8)])
+        assert mine_async_periodic_patterns(
+            dense, 1, 4, 0
+        ) == mine_async_periodic_patterns(sparse, 1, 4, 0)

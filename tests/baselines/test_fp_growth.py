@@ -1,0 +1,66 @@
+"""Unit tests for FP-growth."""
+
+import pytest
+
+from repro.baselines.fp_growth import mine_frequent_patterns
+from repro.exceptions import ParameterError
+from repro.timeseries.database import TransactionalDatabase
+
+
+def itemset_strings(patterns):
+    return sorted("".join(sorted(map(str, p.items))) for p in patterns)
+
+
+class TestMining:
+    def test_running_example_min_sup_7(self, running_example):
+        found = mine_frequent_patterns(running_example, 7)
+        assert itemset_strings(found) == ["a", "ab", "b", "c"]
+        assert found.pattern("ab").support == 7
+
+    def test_running_example_min_sup_6(self, running_example):
+        found = mine_frequent_patterns(running_example, 6)
+        assert "cd" in found
+        assert "ef" in found
+        assert found.pattern("g").support == 6
+
+    def test_min_sup_one_finds_every_occurring_itemset(self):
+        db = TransactionalDatabase([(1, "ab"), (2, "bc")])
+        found = mine_frequent_patterns(db, 1)
+        assert itemset_strings(found) == ["a", "ab", "b", "bc", "c"]
+
+    def test_fractional_min_sup(self, running_example):
+        # 0.5 of 12 -> 6.
+        assert mine_frequent_patterns(
+            running_example, 0.5
+        ) == mine_frequent_patterns(running_example, 6)
+
+    def test_max_length_caps_growth(self, running_example):
+        found = mine_frequent_patterns(running_example, 6, max_length=1)
+        assert found.max_length() == 1
+        assert len(found) == 7  # all seven items have support >= 6
+
+    def test_empty_database(self):
+        assert len(mine_frequent_patterns(TransactionalDatabase(), 1)) == 0
+
+    def test_threshold_above_everything(self, running_example):
+        assert len(mine_frequent_patterns(running_example, 100)) == 0
+
+    def test_rejects_bad_min_sup(self, running_example):
+        with pytest.raises(ParameterError):
+            mine_frequent_patterns(running_example, 0)
+        with pytest.raises(ParameterError):
+            mine_frequent_patterns(running_example, 1.5)
+
+
+class TestSupportCorrectness:
+    def test_supports_match_database_counts(self, running_example):
+        for pattern in mine_frequent_patterns(running_example, 4):
+            assert pattern.support == running_example.support(pattern.items)
+
+    def test_apriori_closure(self, running_example):
+        # Every subset of a frequent pattern is frequent (and present).
+        found = mine_frequent_patterns(running_example, 5)
+        itemsets = found.itemsets()
+        for itemset in itemsets:
+            for item in itemset:
+                assert frozenset(itemset - {item}) in itemsets or len(itemset) == 1

@@ -1,0 +1,110 @@
+"""Tests for segment-based partial periodic patterns (Han et al.)."""
+
+import pytest
+
+from repro.baselines.partial_periodic import (
+    PartialPeriodicPattern,
+    database_to_symbolic_sequence,
+    mine_partial_periodic_patterns,
+)
+from repro.timeseries.database import TransactionalDatabase
+
+
+def slot_strings(patterns):
+    return sorted(str(p) for p in patterns)
+
+
+class TestPatternObject:
+    def test_rejects_empty_slots(self):
+        with pytest.raises(ValueError):
+            PartialPeriodicPattern(2, frozenset(), 1)
+
+    def test_rejects_offset_outside_period(self):
+        with pytest.raises(ValueError):
+            PartialPeriodicPattern(2, frozenset({(2, "a")}), 1)
+
+    def test_str_rendering(self):
+        pattern = PartialPeriodicPattern(
+            3, frozenset({(0, "a"), (2, "b")}), 4
+        )
+        assert str(pattern) == "{a}*{b} [support=4]"
+
+    def test_str_multiple_items_per_slot(self):
+        pattern = PartialPeriodicPattern(
+            2, frozenset({(0, "a"), (0, "b")}), 2
+        )
+        assert str(pattern) == "{ab}* [support=2]"
+
+
+class TestMining:
+    def test_alternating_sequence(self):
+        seq = [frozenset("a"), frozenset("b")] * 4
+        patterns = mine_partial_periodic_patterns(seq, period=2, min_sup=4)
+        assert slot_strings(patterns) == [
+            "*{b} [support=4]",
+            "{a}* [support=4]",
+            "{a}{b} [support=4]",
+        ]
+
+    def test_noise_lowers_support(self):
+        seq = [frozenset("a"), frozenset("b")] * 4
+        seq[2] = frozenset("x")  # one corrupted position
+        patterns = mine_partial_periodic_patterns(seq, period=2, min_sup=3)
+        by_str = {str(p) for p in patterns}
+        assert "{a}* [support=3]" in by_str
+
+    def test_trailing_partial_segment_ignored(self):
+        seq = [frozenset("a")] * 5  # floor(5/2) = 2 segments
+        patterns = mine_partial_periodic_patterns(seq, period=2, min_sup=2)
+        assert all(p.support <= 2 for p in patterns)
+
+    def test_fractional_min_sup(self):
+        seq = [frozenset("a"), frozenset("b")] * 4
+        absolute = mine_partial_periodic_patterns(seq, 2, 4)
+        fractional = mine_partial_periodic_patterns(seq, 2, 1.0)
+        assert slot_strings(absolute) == slot_strings(fractional)
+
+    def test_max_length_caps_slots(self):
+        seq = [frozenset("abc")] * 6
+        patterns = mine_partial_periodic_patterns(
+            seq, period=1, min_sup=6, max_length=2
+        )
+        assert max(p.length for p in patterns) == 2
+
+    def test_empty_sequence(self):
+        assert mine_partial_periodic_patterns([], 2, 1) == []
+
+    def test_accepts_database_input(self, running_example):
+        patterns = mine_partial_periodic_patterns(
+            running_example, period=2, min_sup=0.5
+        )
+        assert patterns  # something period-2-ish exists in Table 1
+
+
+class TestLossyTemporalView:
+    """The paper's criticism: the symbolic view drops the timestamps."""
+
+    def test_silent_gaps_disappear(self, running_example):
+        sequence = database_to_symbolic_sequence(running_example)
+        # Table 1 has 12 transactions over timestamps 1..14 with silent
+        # gaps at 8 and 13; the symbolic sequence is just 12 positions.
+        assert len(sequence) == 12
+
+    def test_two_databases_with_different_gaps_look_identical(self):
+        dense = TransactionalDatabase([(1, "a"), (2, "b"), (3, "a"), (4, "b")])
+        sparse = TransactionalDatabase(
+            [(1, "a"), (100, "b"), (200, "a"), (5000, "b")]
+        )
+        assert database_to_symbolic_sequence(
+            dense
+        ) == database_to_symbolic_sequence(sparse)
+        # Hence the segment-based miner cannot tell them apart...
+        assert mine_partial_periodic_patterns(
+            dense, 2, 2
+        ) == mine_partial_periodic_patterns(sparse, 2, 2)
+        # ...whereas the recurring-pattern model trivially can.
+        from repro import mine_recurring_patterns
+
+        assert mine_recurring_patterns(
+            dense, per=2, min_ps=2
+        ) != mine_recurring_patterns(sparse, per=2, min_ps=2)

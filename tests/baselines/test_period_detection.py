@@ -1,0 +1,99 @@
+"""Unit tests for chi-square period detection."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.period_detection import (
+    DetectedPeriod,
+    chi_square_statistic,
+    detect_periods,
+)
+from repro.exceptions import ParameterError
+
+
+class TestStatistic:
+    def test_matches_hand_computation(self):
+        # observed=8, trials=10, p=0.5 -> (8-5)^2 / (10*0.25) = 3.6
+        assert chi_square_statistic(8, 10, 0.5) == pytest.approx(3.6)
+
+    def test_degenerate_inputs_are_zero(self):
+        assert chi_square_statistic(5, 0, 0.5) == 0.0
+        assert chi_square_statistic(5, 10, 0.0) == 0.0
+        assert chi_square_statistic(5, 10, 1.0) == 0.0
+
+    def test_agrees_with_scipy_chisquare(self):
+        # Cross-check against scipy's two-cell chi-square.
+        from scipy.stats import chisquare
+
+        observed, trials, probability = 30, 100, 0.2
+        expected = trials * probability
+        scipy_stat = chisquare(
+            [observed, trials - observed],
+            [expected, trials - expected],
+        ).statistic
+        assert chi_square_statistic(
+            observed, trials, probability
+        ) == pytest.approx(scipy_stat)
+
+
+class TestDetection:
+    def test_pure_periodic_sequence(self):
+        detected = detect_periods(range(0, 100, 5))
+        assert [d.period for d in detected] == [5]
+        assert detected[0].count == 19
+
+    def test_periodic_with_noise(self):
+        rng = np.random.default_rng(1)
+        base = list(range(0, 400, 7))
+        noise = sorted(rng.choice(2000, size=15, replace=False) + 500)
+        timestamps = sorted(set(base) | set(float(n) for n in noise))
+        periods = [d.period for d in detect_periods(timestamps)]
+        assert 7 in periods
+
+    def test_poisson_noise_rarely_significant(self):
+        rng = np.random.default_rng(7)
+        timestamps = np.cumsum(rng.exponential(10.0, size=150))
+        detected = detect_periods(timestamps.tolist(), delta=0.0)
+        # Continuous random gaps are all distinct: no period can even
+        # reach min_count.
+        assert detected == []
+
+    def test_tolerance_merges_nearby_gaps(self):
+        # Gaps alternate 4 and 6; with delta=1 the candidate 5 does not
+        # exist but 4 and 6 each count 10 occurrences; with delta=2 each
+        # candidate sees all 20 gaps.
+        timestamps = []
+        ts = 0
+        for index in range(20):
+            timestamps.append(ts)
+            ts += 4 if index % 2 == 0 else 6
+        timestamps.append(ts)
+        narrow = detect_periods(timestamps, delta=0.0)
+        wide = detect_periods(timestamps, delta=2.0)
+        assert max(d.count for d in wide) == 20
+        assert all(d.count <= 10 for d in narrow)
+
+    def test_short_sequences_have_no_periods(self):
+        assert detect_periods([]) == []
+        assert detect_periods([1]) == []
+        assert detect_periods([1, 5]) == []
+
+    def test_min_count_filter(self):
+        detected = detect_periods([0, 5, 10], min_count=3)
+        assert detected == []
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ValueError):
+            detect_periods([1, 1, 1])
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ParameterError):
+            detect_periods([1, 2, 3], delta=-1)
+
+    def test_results_sorted_by_statistic(self):
+        timestamps = sorted(
+            set(range(0, 200, 5)) | set(range(1, 100, 20))
+        )
+        detected = detect_periods(timestamps)
+        statistics = [d.statistic for d in detected]
+        assert statistics == sorted(statistics, reverse=True)

@@ -1,0 +1,129 @@
+"""Unit tests for periodic-frequent pattern mining."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.pf_growth import (
+    max_periodicity,
+    mine_periodic_frequent_patterns,
+)
+from repro.exceptions import ParameterError
+from repro.timeseries.database import TransactionalDatabase
+from tests.conftest import small_databases
+
+
+class TestMaxPeriodicity:
+    def test_includes_boundaries(self):
+        # Lead-in of 3 dominates the internal gaps.
+        assert max_periodicity([4, 5, 6], db_start=1, db_end=6) == 3
+
+    def test_lead_out(self):
+        assert max_periodicity([1, 2], db_start=1, db_end=9) == 7
+
+    def test_internal_gap(self):
+        assert max_periodicity([1, 3, 4, 7, 11, 12, 14], 1, 14) == 4
+
+    def test_empty_sequence_is_infinite(self):
+        assert max_periodicity([], 1, 10) == float("inf")
+
+    def test_single_point(self):
+        assert max_periodicity([5], db_start=1, db_end=10) == 5
+
+
+class TestMining:
+    def test_running_example(self, running_example):
+        found = mine_periodic_frequent_patterns(running_example, 6, 4)
+        names = sorted("".join(sorted(p.items)) for p in found)
+        assert names == ["a", "ab", "b", "c", "cd", "d", "e", "ef", "f"]
+
+    def test_periodicity_values(self, running_example):
+        found = mine_periodic_frequent_patterns(running_example, 6, 4)
+        assert found.pattern("a").periodicity == 4
+        assert found.pattern("c").periodicity == 2
+
+    def test_tight_period_filters(self, running_example):
+        found = mine_periodic_frequent_patterns(running_example, 6, 3)
+        # Only c cycles with max gap <= 3 (lead-in 1, gaps <= 2,
+        # lead-out 2); even d breaks with its 5 -> 9 gap.
+        assert sorted("".join(sorted(p.items)) for p in found) == ["c"]
+
+    def test_strict_model_finds_fewer_than_recurring(self, running_example):
+        # The Table 8 observation: complete-cyclic patterns are rare.
+        from repro import mine_recurring_patterns
+
+        pf = mine_periodic_frequent_patterns(running_example, 3, 2)
+        recurring = mine_recurring_patterns(
+            running_example, per=2, min_ps=3, min_rec=1
+        )
+        assert len(pf) <= len(recurring)
+
+    def test_empty_database(self):
+        assert len(
+            mine_periodic_frequent_patterns(TransactionalDatabase(), 1, 1)
+        ) == 0
+
+    def test_rejects_bad_max_per(self, running_example):
+        with pytest.raises(ParameterError):
+            mine_periodic_frequent_patterns(running_example, 1, 0)
+
+
+class TestModelProperties:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        db=small_databases(),
+        min_sup=st.integers(1, 5),
+        max_per=st.integers(1, 10),
+    )
+    def test_definition_holds_for_every_result(self, db, min_sup, max_per):
+        found = mine_periodic_frequent_patterns(db, min_sup, max_per)
+        for pattern in found:
+            timestamps = db.timestamps_of(pattern.items)
+            assert len(timestamps) >= min_sup
+            assert (
+                max_periodicity(timestamps, db.start, db.end) <= max_per
+            )
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        db=small_databases(),
+        min_sup=st.integers(1, 5),
+        max_per=st.integers(1, 10),
+    )
+    def test_anti_monotone_closure(self, db, min_sup, max_per):
+        found = mine_periodic_frequent_patterns(db, min_sup, max_per)
+        itemsets = found.itemsets()
+        for itemset in itemsets:
+            if len(itemset) > 1:
+                for item in itemset:
+                    assert frozenset(itemset - {item}) in itemsets
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(db=small_databases(), max_per=st.integers(1, 10))
+    def test_pf_subset_of_recurring_at_equivalent_thresholds(
+        self, db, max_per
+    ):
+        # A periodic-frequent pattern (minSup s, maxPer p) cycles through
+        # the whole database, so it has a single periodic-interval
+        # containing all its occurrences: it must be recurring at
+        # (per=p, minPS=s, minRec=1).
+        from repro import mine_recurring_patterns
+
+        min_sup = 2
+        pf = mine_periodic_frequent_patterns(db, min_sup, max_per)
+        recurring = mine_recurring_patterns(
+            db, per=max_per, min_ps=min_sup, min_rec=1
+        )
+        assert pf.itemsets() <= recurring.itemsets()

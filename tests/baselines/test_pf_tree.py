@@ -1,0 +1,62 @@
+"""Tests for the tree-based PF-growth++ implementation."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.pf_growth import mine_periodic_frequent_patterns
+from repro.baselines.pf_tree import mine_periodic_frequent_patterns_tree
+from repro.exceptions import ParameterError
+from repro.timeseries.database import TransactionalDatabase
+from tests.conftest import small_databases
+
+
+class TestMining:
+    def test_running_example(self, running_example):
+        found = mine_periodic_frequent_patterns_tree(running_example, 6, 4)
+        assert sorted("".join(sorted(p.items)) for p in found) == [
+            "a", "ab", "b", "c", "cd", "d", "e", "ef", "f",
+        ]
+
+    def test_metadata_matches_vertical_engine(self, running_example):
+        tree = mine_periodic_frequent_patterns_tree(running_example, 6, 4)
+        vertical = mine_periodic_frequent_patterns(running_example, 6, 4)
+        assert tree == vertical
+
+    def test_empty_database(self):
+        assert len(
+            mine_periodic_frequent_patterns_tree(TransactionalDatabase(), 1, 1)
+        ) == 0
+
+    def test_no_candidates(self, running_example):
+        assert len(
+            mine_periodic_frequent_patterns_tree(running_example, 100, 1)
+        ) == 0
+
+    def test_rejects_bad_max_per(self, running_example):
+        with pytest.raises(ParameterError):
+            mine_periodic_frequent_patterns_tree(running_example, 1, 0)
+
+    def test_fractional_min_sup(self, running_example):
+        assert mine_periodic_frequent_patterns_tree(
+            running_example, 0.5, 4
+        ) == mine_periodic_frequent_patterns_tree(running_example, 6, 4)
+
+
+class TestCrossEngine:
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        db=small_databases(),
+        min_sup=st.integers(1, 5),
+        max_per=st.integers(1, 10),
+    )
+    def test_tree_equals_vertical_on_random_databases(
+        self, db, min_sup, max_per
+    ):
+        tree = mine_periodic_frequent_patterns_tree(db, min_sup, max_per)
+        vertical = mine_periodic_frequent_patterns(db, min_sup, max_per)
+        assert tree == vertical

@@ -1,0 +1,176 @@
+"""Unit tests for p-pattern mining (Ma & Hellerstein)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ppattern import mine_p_patterns, periodic_appearances
+from repro.exceptions import ParameterError
+from repro.timeseries.database import TransactionalDatabase
+from tests.conftest import small_databases
+
+
+class TestPeriodicAppearances:
+    def test_threshold_semantics(self):
+        assert periodic_appearances([1, 3, 4, 7, 11, 12, 14], per=2) == 4
+
+    def test_tolerance_semantics(self):
+        assert periodic_appearances(
+            [1, 3, 4, 7, 11, 12, 14], per=3, window=1
+        ) == 4  # gaps 2, 3, 4, 2 qualify
+
+    def test_empty_and_single(self):
+        assert periodic_appearances([], per=1) == 0
+        assert periodic_appearances([5], per=1) == 0
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ParameterError):
+            periodic_appearances([1, 2], per=0)
+
+
+class TestThresholdMode:
+    def test_running_example(self, running_example):
+        found = mine_p_patterns(running_example, per=2, min_sup=4)
+        assert found.pattern("ab").periodic_support == 4
+        assert found.pattern("ab").support == 7
+
+    def test_lower_min_sup_floods_results(self, running_example):
+        # The rare-item dilemma of Section 2: low minSup explodes.
+        strict = mine_p_patterns(running_example, per=2, min_sup=5)
+        loose = mine_p_patterns(running_example, per=2, min_sup=2)
+        assert len(loose) > len(strict)
+
+    def test_p_patterns_ignore_where_periodicity_happens(self, running_example):
+        # c has ONE long periodic stretch; p-patterns cannot tell it
+        # apart from the genuinely recurring cd (the paper's core
+        # criticism): both pass at minSup=4.
+        found = mine_p_patterns(running_example, per=2, min_sup=4)
+        assert "c" in found
+        assert "cd" in found
+
+    def test_empty_database(self):
+        assert len(mine_p_patterns(TransactionalDatabase(), 1, 1)) == 0
+
+    def test_rejects_unknown_mode(self, running_example):
+        with pytest.raises(ParameterError):
+            mine_p_patterns(running_example, 2, 2, mode="fuzzy")
+
+
+class TestToleranceMode:
+    def test_exact_period_matching(self):
+        # Items at a strict period of 3; window 0 around per=3.
+        db = TransactionalDatabase(
+            [(ts, "a") for ts in range(0, 30, 3)]
+        )
+        found = mine_p_patterns(db, per=3, min_sup=5, window=0, mode="tolerance")
+        assert found.pattern("a").periodic_support == 9
+
+    def test_window_admits_jitter(self):
+        db = TransactionalDatabase(
+            [(0, "a"), (3, "a"), (7, "a"), (10, "a"), (14, "a")]
+        )
+        strict = mine_p_patterns(db, per=3, min_sup=4, window=0, mode="tolerance")
+        jittered = mine_p_patterns(db, per=3, min_sup=4, window=1, mode="tolerance")
+        assert "a" not in strict
+        assert "a" in jittered
+
+    def test_tolerance_pairs(self, running_example):
+        found = mine_p_patterns(
+            running_example, per=2, min_sup=4, window=1, mode="tolerance"
+        )
+        assert "ab" in found
+
+
+class TestAssociationFirst:
+    def test_equivalent_to_periodic_first(self, running_example):
+        for min_sup in (2, 4, 6):
+            periodic_first = mine_p_patterns(
+                running_example, per=2, min_sup=min_sup
+            )
+            association_first = mine_p_patterns(
+                running_example, per=2, min_sup=min_sup,
+                algorithm="association-first",
+            )
+            assert periodic_first == association_first, min_sup
+
+    def test_tolerance_mode_supported(self, running_example):
+        periodic_first = mine_p_patterns(
+            running_example, per=2, min_sup=3, window=1, mode="tolerance"
+        )
+        association_first = mine_p_patterns(
+            running_example, per=2, min_sup=3, window=1, mode="tolerance",
+            algorithm="association-first",
+        )
+        assert periodic_first == association_first
+
+    def test_rejects_unknown_algorithm(self, running_example):
+        with pytest.raises(ParameterError):
+            mine_p_patterns(running_example, 2, 2, algorithm="magic")
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        db=small_databases(),
+        per=st.integers(1, 8),
+        min_sup=st.integers(1, 5),
+    )
+    def test_algorithms_agree_on_random_databases(self, db, per, min_sup):
+        assert mine_p_patterns(db, per, min_sup) == mine_p_patterns(
+            db, per, min_sup, algorithm="association-first"
+        )
+
+
+class TestModelProperties:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        db=small_databases(),
+        per=st.integers(1, 8),
+        min_sup=st.integers(1, 5),
+    )
+    def test_definition_holds_threshold_mode(self, db, per, min_sup):
+        for pattern in mine_p_patterns(db, per, min_sup):
+            timestamps = db.timestamps_of(pattern.items)
+            assert periodic_appearances(timestamps, per) >= min_sup
+            assert pattern.periodic_support == periodic_appearances(
+                timestamps, per
+            )
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        db=small_databases(),
+        per=st.integers(1, 8),
+        min_sup=st.integers(1, 4),
+        window=st.integers(0, 3),
+    )
+    def test_tolerance_mode_is_exhaustive(self, db, per, min_sup, window):
+        # Brute-force over occurring itemsets must agree.
+        from itertools import combinations
+
+        found = mine_p_patterns(
+            db, per, min_sup, window=window, mode="tolerance"
+        )
+        occurring = set()
+        for _, items in db:
+            for size in range(1, len(items) + 1):
+                occurring.update(
+                    frozenset(c) for c in combinations(sorted(items), size)
+                )
+        expected = {
+            itemset
+            for itemset in occurring
+            if periodic_appearances(
+                db.timestamps_of(itemset), per, window
+            ) >= min_sup
+        }
+        assert found.itemsets() == expected

@@ -1,0 +1,47 @@
+"""Unit tests for the ASCII reporting helpers."""
+
+import pytest
+
+from repro.bench.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["x", "longer"], [[1, 2], [300, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "  x | longer"
+        assert lines[1] == "----+-------"
+        assert lines[2] == "  1 |      2"
+        assert lines[3] == "300 |      4"
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="hello")
+        assert text.splitlines()[0] == "hello"
+
+    def test_floats_formatted(self):
+        text = format_table(["t"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSeries:
+    def test_layout(self):
+        text = format_series("x", [1, 2], {"s1": [10, 20], "s2": [3, 4]})
+        lines = text.splitlines()
+        assert lines[0] == "x | s1 | s2"
+        assert lines[-1] == "2 | 20 |  4"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"s": [1]})
+
+    def test_deterministic(self):
+        args = ("x", [1], {"a": [1], "b": [2]})
+        assert format_series(*args) == format_series(*args)

@@ -1,0 +1,104 @@
+"""Equivalence tests for the numpy-accelerated primitives and engine."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.accel import (
+    FastRPEclat,
+    estimated_recurrence_np,
+    interesting_intervals_np,
+    recurrence_np,
+)
+from repro.core.intervals import (
+    estimated_recurrence,
+    interesting_intervals,
+    recurrence,
+)
+from repro.core.rp_growth import RPGrowth
+from repro.exceptions import ParameterError
+from tests.conftest import mining_parameters, point_sequences, small_databases
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestVectorisedPrimitives:
+    def test_paper_example11(self):
+        ts = np.array([1, 5, 6, 7, 12, 14])
+        assert estimated_recurrence_np(ts, 2, 3) == 1
+
+    def test_empty_array(self):
+        empty = np.array([])
+        assert estimated_recurrence_np(empty, 2, 3) == 0
+        assert recurrence_np(empty, 2, 3) == 0
+        assert interesting_intervals_np(empty, 2, 3) == []
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            estimated_recurrence_np(np.array([1]), 0, 1)
+        with pytest.raises(ParameterError):
+            recurrence_np(np.array([1]), 1, 0)
+
+    def test_interval_values_keep_integer_type(self):
+        runs = interesting_intervals_np(np.array([1, 2, 3]), 1, 2)
+        assert runs == [(1, 3, 3)]
+        assert isinstance(runs[0][0], int)
+
+    def test_float_timestamps(self):
+        ts = np.array([0.5, 1.0, 9.5, 10.0])
+        assert interesting_intervals_np(ts, 0.5, 2) == [
+            (0.5, 1.0, 2), (9.5, 10.0, 2),
+        ]
+
+    @RELAXED
+    @given(
+        ts=point_sequences(),
+        per=st.integers(1, 10),
+        min_ps=st.integers(1, 5),
+    )
+    def test_matches_pure_python(self, ts, per, min_ps):
+        array = np.asarray(ts)
+        assert estimated_recurrence_np(array, per, min_ps) == (
+            estimated_recurrence(ts, per, min_ps)
+        )
+        assert recurrence_np(array, per, min_ps) == recurrence(
+            ts, per, min_ps
+        )
+        assert interesting_intervals_np(array, per, min_ps) == (
+            interesting_intervals(ts, per, min_ps)
+        )
+
+
+class TestFastEngine:
+    def test_paper_table2(self, running_example):
+        fast = FastRPEclat(2, 3, 2).mine(running_example)
+        reference = RPGrowth(2, 3, 2).mine(running_example)
+        assert fast == reference
+
+    def test_stats_recorded(self, running_example):
+        miner = FastRPEclat(2, 3, 2)
+        miner.mine(running_example)
+        assert miner.last_stats.patterns_found == 8
+        assert miner.last_stats.pruned_items == 1
+
+    def test_engine_selectable_from_facade(self, running_example):
+        from repro.core.miner import mine_recurring_patterns
+
+        assert len(
+            mine_recurring_patterns(
+                running_example, 2, 3, 2, engine="rp-eclat-np"
+            )
+        ) == 8
+
+    @RELAXED
+    @given(db=small_databases(), params=mining_parameters())
+    def test_fast_engine_equals_rp_growth(self, db, params):
+        per, min_ps, min_rec = params
+        assert FastRPEclat(per, min_ps, min_rec).mine(db) == RPGrowth(
+            per, min_ps, min_rec
+        ).mine(db)

@@ -1,0 +1,126 @@
+"""Unit and property tests for closed/maximal/top-k condensations."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.condensed import (
+    closed_patterns,
+    maximal_patterns,
+    top_k_patterns,
+)
+from repro.core.miner import mine_recurring_patterns
+from repro.core.rp_growth import RPGrowth
+from repro.exceptions import ParameterError
+from tests.conftest import mining_parameters, small_databases
+
+RELAXED = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture
+def table2(running_example):
+    return mine_recurring_patterns(running_example, per=2, min_ps=3, min_rec=2)
+
+
+class TestClosed:
+    def test_running_example(self, table2):
+        closed = closed_patterns(table2)
+        assert {"".join(sorted(p.items)) for p in closed} == {
+            "a", "ab", "cd", "ef",
+        }
+
+    def test_metadata_preserved(self, table2):
+        closed = closed_patterns(table2)
+        assert closed.pattern("ab") == table2.pattern("ab")
+
+    def test_empty_input(self, table2):
+        from repro.core.model import RecurringPatternSet
+
+        assert len(closed_patterns(RecurringPatternSet())) == 0
+
+
+class TestMaximal:
+    def test_running_example(self, table2):
+        maximal = maximal_patterns(table2)
+        assert {"".join(sorted(p.items)) for p in maximal} == {
+            "ab", "cd", "ef",
+        }
+
+    def test_maximal_subset_of_closed(self, table2):
+        assert maximal_patterns(table2).itemsets() <= closed_patterns(
+            table2
+        ).itemsets()
+
+
+class TestTopK:
+    def test_by_support(self, table2):
+        top = top_k_patterns(table2, 1, key="support")
+        assert top[0].items == frozenset("a")
+
+    def test_k_larger_than_set(self, table2):
+        assert len(top_k_patterns(table2, 100)) == 8
+
+    def test_rejects_bad_k(self, table2):
+        with pytest.raises(ParameterError):
+            top_k_patterns(table2, 0)
+
+    def test_rejects_bad_key(self, table2):
+        with pytest.raises(ValueError):
+            top_k_patterns(table2, 1, key="colour")
+
+
+class TestProperties:
+    @RELAXED
+    @given(db=small_databases(), params=mining_parameters())
+    def test_closed_is_lossless_for_itemsets(self, db, params):
+        # Every mined pattern has a closed superset with equal support.
+        per, min_ps, min_rec = params
+        found = RPGrowth(per, min_ps, min_rec).mine(db)
+        closed = closed_patterns(found)
+        for pattern in found:
+            assert any(
+                pattern.items <= other.items
+                and pattern.support == other.support
+                for other in closed
+            ), pattern
+
+    @RELAXED
+    @given(db=small_databases(), params=mining_parameters())
+    def test_closed_metadata_recoverable(self, db, params):
+        # The closure with the same support has the SAME intervals.
+        per, min_ps, min_rec = params
+        found = RPGrowth(per, min_ps, min_rec).mine(db)
+        closed = closed_patterns(found)
+        for pattern in found:
+            closure = next(
+                other
+                for other in closed
+                if pattern.items <= other.items
+                and pattern.support == other.support
+            )
+            assert closure.intervals == pattern.intervals
+
+    @RELAXED
+    @given(db=small_databases(), params=mining_parameters())
+    def test_maximal_have_no_recurring_superset(self, db, params):
+        per, min_ps, min_rec = params
+        found = RPGrowth(per, min_ps, min_rec).mine(db)
+        itemsets = found.itemsets()
+        for pattern in maximal_patterns(found):
+            assert not any(
+                pattern.items < other for other in itemsets
+            )
+
+    @RELAXED
+    @given(db=small_databases(), params=mining_parameters())
+    def test_every_pattern_below_some_maximal(self, db, params):
+        per, min_ps, min_rec = params
+        found = RPGrowth(per, min_ps, min_rec).mine(db)
+        maximal = maximal_patterns(found)
+        for pattern in found:
+            assert any(
+                pattern.items <= other.items for other in maximal
+            )

@@ -1,0 +1,173 @@
+"""Unit tests for the model dataclasses and parameter handling."""
+
+import pytest
+
+from repro.core.model import (
+    MiningParameters,
+    PeriodicInterval,
+    RecurringPattern,
+    RecurringPatternSet,
+)
+from repro.exceptions import ParameterError
+
+
+def make_pattern(items="ab", support=7, intervals=((1, 4, 3), (11, 14, 3))):
+    return RecurringPattern(
+        items=frozenset(items),
+        support=support,
+        intervals=tuple(
+            PeriodicInterval(start, end, ps) for start, end, ps in intervals
+        ),
+    )
+
+
+class TestPeriodicInterval:
+    def test_fields(self):
+        interval = PeriodicInterval(1, 4, 3)
+        assert (interval.start, interval.end, interval.periodic_support) == (
+            1, 4, 3,
+        )
+        assert interval.duration == 3
+
+    def test_point_interval(self):
+        assert PeriodicInterval(7, 7, 1).duration == 0
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            PeriodicInterval(4, 1, 3)
+
+    def test_rejects_bad_support(self):
+        with pytest.raises(ParameterError):
+            PeriodicInterval(1, 4, 0)
+
+    def test_str(self):
+        assert str(PeriodicInterval(1, 4, 3)) == "[1, 4]:3"
+
+    def test_ordering(self):
+        assert PeriodicInterval(1, 4, 3) < PeriodicInterval(2, 3, 1)
+
+
+class TestRecurringPattern:
+    def test_recurrence_is_interval_count(self):
+        assert make_pattern().recurrence == 2
+
+    def test_length(self):
+        assert make_pattern("abc").length == 3
+
+    def test_rejects_empty_items(self):
+        with pytest.raises(ValueError):
+            make_pattern("")
+
+    def test_rejects_bad_support(self):
+        with pytest.raises(ParameterError):
+            make_pattern(support=0)
+
+    def test_str_matches_paper_expression(self):
+        # Example 9's expression.
+        assert str(make_pattern()) == (
+            "ab [support=7, recurrence=2, {[1, 4]:3, [11, 14]:3}]"
+        )
+
+    def test_items_coerced_to_frozenset(self):
+        pattern = RecurringPattern(
+            items=["a", "b", "a"],
+            support=3,
+            intervals=(PeriodicInterval(1, 2, 2),),
+        )
+        assert pattern.items == frozenset("ab")
+
+
+class TestRecurringPatternSet:
+    def test_sorted_by_length_then_items(self):
+        patterns = RecurringPatternSet(
+            [make_pattern("cd"), make_pattern("b"), make_pattern("a")]
+        )
+        assert [p.sorted_items() for p in patterns] == [
+            ("a",), ("b",), ("c", "d"),
+        ]
+
+    def test_lookup(self):
+        patterns = RecurringPatternSet([make_pattern("ab")])
+        assert patterns.pattern("ba").support == 7
+        assert "ab" in patterns
+        assert "zz" not in patterns
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(KeyError):
+            RecurringPatternSet().pattern("ab")
+
+    def test_get_default(self):
+        assert RecurringPatternSet().get("ab") is None
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            RecurringPatternSet([make_pattern("ab"), make_pattern("ba")])
+
+    def test_max_length(self):
+        patterns = RecurringPatternSet([make_pattern("a"), make_pattern("bc")])
+        assert patterns.max_length() == 2
+        assert RecurringPatternSet().max_length() == 0
+
+    def test_filter(self):
+        patterns = RecurringPatternSet(
+            [make_pattern("a", support=3, intervals=((1, 2, 2),)),
+             make_pattern("bc", support=9)]
+        )
+        assert len(patterns.filter(min_support=5)) == 1
+        assert len(patterns.filter(min_length=2)) == 1
+        assert len(patterns.filter(min_recurrence=2)) == 1
+
+    def test_top(self):
+        patterns = RecurringPatternSet(
+            [make_pattern("a", support=3, intervals=((1, 2, 2),)),
+             make_pattern("bc", support=9)]
+        )
+        assert patterns.top(1)[0].support == 9
+        with pytest.raises(ValueError):
+            patterns.top(1, key="banana")
+
+    def test_as_rows(self):
+        rows = RecurringPatternSet([make_pattern()]).as_rows()
+        assert rows == [("ab", 7, 2, "[1, 4]:3, [11, 14]:3")]
+
+
+class TestMiningParameters:
+    def test_valid(self):
+        params = MiningParameters(per=2, min_ps=3, min_rec=2)
+        resolved = params.resolve(100)
+        assert (resolved.per, resolved.min_ps, resolved.min_rec) == (2, 3, 2)
+
+    def test_fractional_min_ps(self):
+        resolved = MiningParameters(per=2, min_ps=0.1, min_rec=1).resolve(42)
+        assert resolved.min_ps == 5  # ceil(4.2)
+
+    def test_fractional_min_ps_floor_of_one(self):
+        resolved = MiningParameters(per=2, min_ps=0.001, min_rec=1).resolve(10)
+        assert resolved.min_ps == 1
+
+    def test_rejects_bad_per(self):
+        with pytest.raises(ParameterError):
+            MiningParameters(per=0, min_ps=1, min_rec=1)
+
+    def test_rejects_bad_min_rec(self):
+        with pytest.raises(ParameterError):
+            MiningParameters(per=1, min_ps=1, min_rec=0)
+
+    def test_rejects_bad_min_ps(self):
+        with pytest.raises(ParameterError):
+            MiningParameters(per=1, min_ps=0, min_rec=1)
+        with pytest.raises(ParameterError):
+            MiningParameters(per=1, min_ps=1.5, min_rec=1).resolve(10)
+
+    def test_pattern_from_timestamps(self):
+        resolved = MiningParameters(per=2, min_ps=3, min_rec=2).resolve(12)
+        pattern = resolved.pattern_from_timestamps(
+            "ab", [1, 3, 4, 7, 11, 12, 14]
+        )
+        assert pattern is not None
+        assert pattern.support == 7
+        assert pattern.recurrence == 2
+
+    def test_pattern_from_timestamps_not_recurring(self):
+        resolved = MiningParameters(per=2, min_ps=3, min_rec=2).resolve(12)
+        assert resolved.pattern_from_timestamps("c", [2, 4, 5, 7, 9, 10, 12]) is None

@@ -1,0 +1,56 @@
+"""Unit tests for the exhaustive reference miner."""
+
+import pytest
+
+from repro.core.naive import mine_recurring_patterns_naive
+from repro.datasets import paper_table2_patterns
+from repro.exceptions import SearchSpaceError
+from repro.timeseries.database import TransactionalDatabase
+
+
+class TestCorrectness:
+    def test_paper_table2(self, running_example):
+        found = mine_recurring_patterns_naive(
+            running_example, per=2, min_ps=3, min_rec=2
+        )
+        got = {
+            "".join(sorted(p.items)): (
+                p.support,
+                p.recurrence,
+                [(iv.start, iv.end, iv.periodic_support) for iv in p.intervals],
+            )
+            for p in found
+        }
+        assert got == paper_table2_patterns()
+
+    def test_empty_database(self):
+        found = mine_recurring_patterns_naive(
+            TransactionalDatabase(), per=1, min_ps=1, min_rec=1
+        )
+        assert len(found) == 0
+
+    def test_only_occurring_itemsets_considered(self):
+        # a and b never co-occur, so {a, b} must not crash anything and
+        # must not be reported even at the loosest thresholds.
+        db = TransactionalDatabase([(1, "a"), (2, "b"), (3, "a"), (4, "b")])
+        found = mine_recurring_patterns_naive(db, per=5, min_ps=1, min_rec=1)
+        assert "ab" not in found
+        assert {"".join(p.items) for p in found} == {"a", "b"}
+
+
+class TestGuardrails:
+    def test_refuses_large_item_universe(self):
+        db = TransactionalDatabase(
+            [(ts, [f"item{ts}"]) for ts in range(1, 30)]
+        )
+        with pytest.raises(SearchSpaceError):
+            mine_recurring_patterns_naive(db, per=1, min_ps=1, min_rec=1)
+
+    def test_max_items_override(self):
+        db = TransactionalDatabase(
+            [(ts, [f"item{ts}"]) for ts in range(1, 20)]
+        )
+        found = mine_recurring_patterns_naive(
+            db, per=1, min_ps=1, min_rec=1, max_items=25
+        )
+        assert len(found) == 19

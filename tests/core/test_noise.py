@@ -1,0 +1,216 @@
+"""Unit and property tests for the noise-tolerant extension."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import periodic_intervals
+from repro.core.noise import (
+    FaultTolerantInterval,
+    NoiseTolerantMiner,
+    fault_tolerant_intervals,
+    fault_tolerant_recurrence,
+    mine_noise_tolerant_patterns,
+)
+from repro.core.rp_growth import RPGrowth
+from repro.exceptions import ParameterError
+from repro.timeseries.database import TransactionalDatabase
+from tests.conftest import mining_parameters, point_sequences, small_databases
+
+RELAXED = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestFaultTolerantIntervals:
+    def test_missing_beat_bridged(self):
+        ts = [1, 2, 3, 5, 6, 7]
+        runs = fault_tolerant_intervals(ts, per=1, fault_per=2, max_faults=1)
+        assert runs == [FaultTolerantInterval(1, 7, 6, 1)]
+
+    def test_zero_faults_is_strict_model(self):
+        ts = [1, 2, 3, 5, 6, 7]
+        strict = fault_tolerant_intervals(ts, per=1, fault_per=2, max_faults=0)
+        assert [(r.start, r.end, r.periodic_support) for r in strict] == (
+            periodic_intervals(ts, per=1)
+        )
+
+    def test_budget_is_per_interval(self):
+        # Two faults with budget 1: the second fault closes the interval.
+        ts = [1, 2, 4, 6, 7]
+        runs = fault_tolerant_intervals(ts, per=1, fault_per=2, max_faults=1)
+        assert [(r.start, r.end, r.faults) for r in runs] == [
+            (1, 4, 1), (6, 7, 0),
+        ]
+
+    def test_budget_two_bridges_both(self):
+        ts = [1, 2, 4, 6, 7]
+        runs = fault_tolerant_intervals(ts, per=1, fault_per=2, max_faults=2)
+        assert runs == [FaultTolerantInterval(1, 7, 5, 2)]
+
+    def test_gap_beyond_fault_per_always_breaks(self):
+        ts = [1, 2, 10, 11]
+        runs = fault_tolerant_intervals(ts, per=1, fault_per=3, max_faults=5)
+        assert len(runs) == 2
+
+    def test_empty_and_single(self):
+        assert fault_tolerant_intervals([], 1, 2, 1) == []
+        assert fault_tolerant_intervals([5], 1, 2, 1) == [
+            FaultTolerantInterval(5, 5, 1, 0)
+        ]
+
+    def test_rejects_fault_per_below_per(self):
+        with pytest.raises(ParameterError):
+            fault_tolerant_intervals([1, 2], per=3, fault_per=2, max_faults=1)
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ValueError):
+            fault_tolerant_intervals([2, 2], per=1, fault_per=2, max_faults=1)
+
+    def test_recurrence_counts_interesting_only(self):
+        ts = [1, 2, 3, 10, 11, 12, 20]
+        assert fault_tolerant_recurrence(
+            ts, per=1, fault_per=2, max_faults=0, min_ps=3
+        ) == 2
+
+    def test_str_marks_faults(self):
+        assert str(FaultTolerantInterval(1, 7, 6, 1)) == "[1, 7]:6~1"
+        assert str(FaultTolerantInterval(1, 3, 3, 0)) == "[1, 3]:3"
+
+
+class TestMiner:
+    def test_bridges_dropout(self):
+        db = TransactionalDatabase(
+            [(ts, "ab") for ts in [1, 2, 3, 5, 6, 7]]
+        )
+        strict = RPGrowth(per=1, min_ps=4, min_rec=1).mine(db)
+        tolerant = mine_noise_tolerant_patterns(
+            db, per=1, min_ps=4, min_rec=1, max_faults=1
+        )
+        assert len(strict) == 0
+        assert tolerant.pattern("ab").support == 6
+
+    def test_default_fault_per_is_twice_per(self):
+        miner = NoiseTolerantMiner(per=5, min_ps=2, min_rec=1)
+        assert miner.fault_per == 10
+
+    def test_rejects_bad_fault_per(self):
+        with pytest.raises(ParameterError):
+            NoiseTolerantMiner(per=5, min_ps=2, min_rec=1, fault_per=3)
+
+    def test_empty_database(self):
+        assert len(
+            NoiseTolerantMiner(1, 1, 1).mine(TransactionalDatabase())
+        ) == 0
+
+    def test_fractional_min_ps(self, running_example):
+        fractional = mine_noise_tolerant_patterns(
+            running_example, per=2, min_ps=0.25, min_rec=2, max_faults=0
+        )
+        absolute = mine_noise_tolerant_patterns(
+            running_example, per=2, min_ps=3, min_rec=2, max_faults=0
+        )
+        assert fractional == absolute
+
+
+class TestProperties:
+    @RELAXED
+    @given(db=small_databases(), params=mining_parameters())
+    def test_zero_faults_equals_strict_miner(self, db, params):
+        per, min_ps, min_rec = params
+        strict = RPGrowth(per, min_ps, min_rec).mine(db)
+        tolerant = mine_noise_tolerant_patterns(
+            db, per, min_ps, min_rec, fault_per=per, max_faults=0
+        )
+        assert strict == tolerant
+
+    @RELAXED
+    @given(db=small_databases(), params=mining_parameters())
+    def test_more_faults_never_lose_patterns_at_min_rec_one(self, db, params):
+        # Monotonicity in the fault budget holds at minRec = 1: a gap
+        # <= per never closes an interval, so every strict run sits
+        # inside one fault-tolerant interval of at least its ps.  At
+        # minRec > 1 it can fail — extra credits may MERGE two
+        # interesting intervals into one, dropping the recurrence —
+        # the same merging phenomenon the paper reports for larger
+        # per values (Section 5.2).
+        per, min_ps, _ = params
+        fewer = mine_noise_tolerant_patterns(
+            db, per, min_ps, 1, max_faults=0
+        )
+        more = mine_noise_tolerant_patterns(
+            db, per, min_ps, 1, max_faults=2
+        )
+        assert fewer.itemsets() <= more.itemsets()
+
+    def test_faults_can_merge_intervals_and_lower_recurrence(self):
+        # The concrete counterexample for minRec > 1.
+        ts = [1, 2, 3, 5, 6, 7]
+        assert fault_tolerant_recurrence(
+            ts, per=1, fault_per=2, max_faults=0, min_ps=3
+        ) == 2
+        assert fault_tolerant_recurrence(
+            ts, per=1, fault_per=2, max_faults=1, min_ps=3
+        ) == 1
+
+    @RELAXED
+    @given(
+        ts=point_sequences(),
+        per=st.integers(1, 6),
+        extra=st.integers(0, 6),
+        max_faults=st.integers(0, 3),
+    )
+    def test_decomposition_partitions_sequence(
+        self, ts, per, extra, max_faults
+    ):
+        runs = fault_tolerant_intervals(ts, per, per + extra, max_faults)
+        assert sum(r.periodic_support for r in runs) == len(ts)
+        for left, right in zip(runs, runs[1:]):
+            assert right.start > left.end
+
+    @RELAXED
+    @given(
+        ts=point_sequences(),
+        per=st.integers(1, 6),
+        extra=st.integers(0, 6),
+        max_faults=st.integers(0, 3),
+        min_ps=st.integers(1, 4),
+    )
+    def test_relaxed_bound_is_sound(self, ts, per, extra, max_faults, min_ps):
+        # The miner's candidate bound must dominate the true recurrence.
+        from repro.core.intervals import estimated_recurrence
+
+        fault_per = per + extra
+        bound = estimated_recurrence(ts, fault_per, min_ps)
+        actual = fault_tolerant_recurrence(
+            ts, per, fault_per, max_faults, min_ps
+        )
+        assert bound >= actual
+
+    @RELAXED
+    @given(db=small_databases(max_items=4), params=mining_parameters())
+    def test_miner_matches_brute_force(self, db, params):
+        from itertools import combinations
+
+        per, min_ps, min_rec = params
+        fault_per, max_faults = per + 2, 1
+        mined = mine_noise_tolerant_patterns(
+            db, per, min_ps, min_rec,
+            fault_per=fault_per, max_faults=max_faults,
+        )
+        occurring = set()
+        for _, items in db:
+            for size in range(1, len(items) + 1):
+                occurring.update(
+                    frozenset(c) for c in combinations(sorted(items), size)
+                )
+        expected = {
+            itemset
+            for itemset in occurring
+            if fault_tolerant_recurrence(
+                db.timestamps_of(itemset), per, fault_per, max_faults, min_ps
+            ) >= min_rec
+        }
+        assert mined.itemsets() == expected

@@ -1,0 +1,100 @@
+"""Unit tests for threshold suggestion."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import inter_arrival_times
+from repro.core.periods import significant_periods, suggest_per
+from repro.exceptions import EmptyDatabaseError, ParameterError
+from repro.timeseries.database import TransactionalDatabase
+from tests.conftest import small_databases
+
+
+class TestSuggestPer:
+    def test_running_example(self, running_example):
+        suggestion = suggest_per(running_example, quantile=0.75)
+        assert suggestion.per == 2
+        assert suggestion.gap_count == 39
+        assert suggestion.median_gap == 2
+        assert suggestion.max_gap == 5
+
+    def test_quantile_one_is_max_gap(self, running_example):
+        suggestion = suggest_per(running_example, quantile=1.0)
+        assert suggestion.per == suggestion.max_gap == 5
+
+    def test_mining_at_suggested_per_finds_patterns(self, running_example):
+        from repro import mine_recurring_patterns
+
+        suggestion = suggest_per(running_example, quantile=0.75)
+        found = mine_recurring_patterns(
+            running_example, per=suggestion.per, min_ps=3, min_rec=2
+        )
+        assert len(found) == 8  # exactly the paper's setting
+
+    def test_rejects_bad_quantile(self, running_example):
+        with pytest.raises(ParameterError):
+            suggest_per(running_example, quantile=0)
+        with pytest.raises(ParameterError):
+            suggest_per(running_example, quantile=1.5)
+
+    def test_empty_database(self):
+        with pytest.raises(EmptyDatabaseError):
+            suggest_per(TransactionalDatabase())
+
+    def test_all_singleton_items(self):
+        db = TransactionalDatabase([(1, "a"), (2, "b")])
+        with pytest.raises(EmptyDatabaseError):
+            suggest_per(db)
+
+    def test_str(self, running_example):
+        text = str(suggest_per(running_example))
+        assert text.startswith("per=")
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        db=small_databases(),
+        quantile=st.floats(0.05, 1.0),
+    )
+    def test_suggestion_is_an_observed_gap(self, db, quantile):
+        gaps = set()
+        for timestamps in db.item_timestamps().values():
+            gaps.update(inter_arrival_times(timestamps))
+        if not gaps:
+            with pytest.raises(EmptyDatabaseError):
+                suggest_per(db, quantile=quantile)
+            return
+        suggestion = suggest_per(db, quantile=quantile)
+        assert suggestion.per in gaps
+        assert suggestion.per <= suggestion.max_gap
+
+
+class TestSignificantPeriods:
+    def test_detects_heartbeat(self):
+        db = TransactionalDatabase([(ts, ["beat"]) for ts in range(0, 90, 3)])
+        periods = significant_periods(db)
+        assert [p.period for p in periods["beat"]] == [3]
+
+    def test_items_filter(self, running_example):
+        periods = significant_periods(running_example, items=["a"])
+        assert set(periods) <= {"a"}
+
+    def test_absent_item_omitted(self, running_example):
+        periods = significant_periods(running_example, items=["zz"])
+        assert periods == {}
+
+    def test_top_caps_results(self):
+        # Mixture of two strong rhythms.
+        timestamps = sorted(set(range(0, 300, 5)) | set(range(1, 300, 7)))
+        db = TransactionalDatabase([(ts, ["x"]) for ts in timestamps])
+        capped = significant_periods(db, top=1)
+        if "x" in capped:
+            assert len(capped["x"]) == 1
+
+    def test_rejects_bad_top(self, running_example):
+        with pytest.raises(ParameterError):
+            significant_periods(running_example, top=0)

@@ -1,0 +1,78 @@
+"""Unit tests for the vertical (Eclat-style) recurring-pattern engine."""
+
+import pytest
+
+from repro.core.rp_eclat import RPEclat, intersect_sorted
+from repro.core.rp_growth import RPGrowth
+from repro.datasets import paper_table2_patterns
+from repro.timeseries.database import TransactionalDatabase
+
+
+class TestIntersectSorted:
+    def test_basic(self):
+        assert intersect_sorted([1, 3, 5, 7], [3, 4, 7, 9]) == [3, 7]
+
+    def test_disjoint(self):
+        assert intersect_sorted([1, 2], [3, 4]) == []
+
+    def test_empty_sides(self):
+        assert intersect_sorted([], [1]) == []
+        assert intersect_sorted([1], []) == []
+
+    def test_identical(self):
+        assert intersect_sorted([1, 2, 3], [1, 2, 3]) == [1, 2, 3]
+
+    def test_floats(self):
+        assert intersect_sorted([0.5, 1.5], [1.5, 2.5]) == [1.5]
+
+
+class TestMining:
+    def test_paper_table2(self, running_example):
+        found = RPEclat(per=2, min_ps=3, min_rec=2).mine(running_example)
+        got = {
+            "".join(sorted(p.items)): (
+                p.support,
+                p.recurrence,
+                [(iv.start, iv.end, iv.periodic_support) for iv in p.intervals],
+            )
+            for p in found
+        }
+        assert got == paper_table2_patterns()
+
+    def test_matches_rp_growth_on_other_thresholds(self, running_example):
+        for per, min_ps, min_rec in [(1, 2, 1), (3, 2, 2), (2, 1, 3), (5, 4, 1)]:
+            growth = RPGrowth(per, min_ps, min_rec).mine(running_example)
+            eclat = RPEclat(per, min_ps, min_rec).mine(running_example)
+            assert growth == eclat, (per, min_ps, min_rec)
+
+    def test_empty_database(self):
+        assert len(RPEclat(2, 3, 2).mine(TransactionalDatabase())) == 0
+
+    def test_rejects_unknown_pruning(self):
+        with pytest.raises(ValueError):
+            RPEclat(2, 3, 2, pruning="magic")
+
+
+class TestPruningStrategies:
+    def test_support_pruning_gives_same_answer(self, running_example):
+        # The weak bound is sound: results must be identical, only the
+        # explored search space differs.
+        erec = RPEclat(2, 3, 2, pruning="erec").mine(running_example)
+        weak = RPEclat(2, 3, 2, pruning="support").mine(running_example)
+        assert erec == weak
+
+    def test_erec_pruning_explores_no_more_candidates(self, running_example):
+        strong = RPEclat(2, 3, 2, pruning="erec")
+        strong.mine(running_example)
+        weak = RPEclat(2, 3, 2, pruning="support")
+        weak.mine(running_example)
+        assert (
+            strong.last_stats.candidate_patterns
+            <= weak.last_stats.candidate_patterns
+        )
+
+    def test_stats_recorded(self, running_example):
+        miner = RPEclat(2, 3, 2)
+        miner.mine(running_example)
+        assert miner.last_stats.patterns_found == 8
+        assert miner.last_stats.pruned_items == 1  # g

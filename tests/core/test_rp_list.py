@@ -1,0 +1,112 @@
+"""Unit tests for RP-list construction (Algorithm 1, Figure 4)."""
+
+import pytest
+
+from repro.core.model import MiningParameters
+from repro.core.rp_list import RPListEntry, build_rp_list
+from repro.timeseries.database import TransactionalDatabase
+
+PARAMS = MiningParameters(per=2, min_ps=3, min_rec=2)
+
+
+def rp_list_for(db):
+    return build_rp_list(db, PARAMS.resolve(len(db)))
+
+
+class TestStreamingEntry:
+    def test_first_observation(self):
+        entry = RPListEntry("a")
+        entry.observe(1, per=2, min_ps=3)
+        assert (entry.support, entry.erec, entry.current_ps) == (1, 0, 1)
+        assert entry.last_ts == 1
+
+    def test_run_continues_within_period(self):
+        entry = RPListEntry("a")
+        for ts in (1, 2, 3):
+            entry.observe(ts, per=2, min_ps=3)
+        assert (entry.support, entry.current_ps) == (3, 3)
+
+    def test_run_break_banks_erec(self):
+        entry = RPListEntry("a")
+        for ts in (1, 2, 3, 10):
+            entry.observe(ts, per=2, min_ps=3)
+        assert entry.erec == 1  # floor(3/3) banked at the break
+        assert entry.current_ps == 1
+
+    def test_finalize_banks_trailing_run(self):
+        entry = RPListEntry("a")
+        for ts in (1, 2, 3):
+            entry.observe(ts, per=2, min_ps=3)
+        entry.finalize(min_ps=3)
+        assert entry.erec == 1
+
+
+class TestPaperFigure4:
+    """The worked RP-list values of Figure 4(d)-(f)."""
+
+    def test_final_supports(self, running_example):
+        entries = rp_list_for(running_example).entries
+        supports = {item: entry.support for item, entry in entries.items()}
+        assert supports == {
+            "a": 8, "b": 7, "c": 7, "d": 6, "e": 6, "f": 6, "g": 6,
+        }
+
+    def test_final_erec_values(self, running_example):
+        # Figure 4(e): erec after the final pass.
+        entries = rp_list_for(running_example).entries
+        erecs = {item: entry.erec for item, entry in entries.items()}
+        assert erecs == {
+            "a": 2, "b": 2, "c": 2, "d": 2, "e": 2, "f": 2, "g": 1,
+        }
+
+    def test_g_is_pruned(self, running_example):
+        rp_list = rp_list_for(running_example)
+        assert "g" not in rp_list
+        assert "g" in rp_list.entries  # still inspectable pre-pruning
+
+    def test_candidates_sorted_by_support(self, running_example):
+        # Figure 4(f): a(8), b(7), c(7), d(6), e(6), f(6).
+        assert rp_list_for(running_example).candidates == (
+            "a", "b", "c", "d", "e", "f",
+        )
+
+    def test_ranks_follow_candidate_order(self, running_example):
+        rp_list = rp_list_for(running_example)
+        assert rp_list.rank("a") == 0
+        assert rp_list.rank("f") == 5
+
+
+class TestProjection:
+    def test_sort_transaction_filters_and_orders(self, running_example):
+        rp_list = rp_list_for(running_example)
+        assert rp_list.sort_transaction(frozenset("gba")) == ["a", "b"]
+
+    def test_sort_transaction_all_pruned(self, running_example):
+        rp_list = rp_list_for(running_example)
+        assert rp_list.sort_transaction(frozenset("g")) == []
+
+    def test_len(self, running_example):
+        assert len(rp_list_for(running_example)) == 6
+
+
+class TestEdgeCases:
+    def test_empty_database(self):
+        db = TransactionalDatabase()
+        rp_list = build_rp_list(db, PARAMS.resolve(1))
+        assert len(rp_list) == 0
+
+    def test_single_transaction(self):
+        db = TransactionalDatabase([(1, "ab")])
+        rp_list = build_rp_list(
+            db, MiningParameters(per=1, min_ps=1, min_rec=1).resolve(1)
+        )
+        assert set(rp_list.candidates) == {"a", "b"}
+
+    def test_erec_matches_functional_definition(self, running_example):
+        # The streaming computation must agree with the pure function.
+        from repro.core.intervals import estimated_recurrence
+
+        entries = rp_list_for(running_example).entries
+        for item, entry in entries.items():
+            ts = running_example.item_timestamps()[item]
+            assert entry.erec == estimated_recurrence(ts, 2, 3), item

@@ -1,0 +1,161 @@
+"""Unit tests for RP-tree construction (Algorithms 2-3, Figure 5)."""
+
+import pytest
+
+from repro.core.model import MiningParameters
+from repro.core.rp_tree import RPTree, build_rp_tree
+from repro.timeseries.database import TransactionalDatabase
+
+PARAMS = MiningParameters(per=2, min_ps=3, min_rec=2)
+
+
+@pytest.fixture
+def paper_tree(running_example):
+    tree, rp_list = build_rp_tree(
+        running_example, PARAMS.resolve(len(running_example))
+    )
+    return tree
+
+
+# The tail-carrying root-to-tail paths of Figure 5(b).
+FIGURE_5B_PATHS = [
+    (("a", "b"), (1, 14)),
+    (("a", "b", "c"), (7,)),
+    (("a", "b", "c", "d"), (4,)),
+    (("a", "b", "c", "d", "e", "f"), (12,)),
+    (("a", "b", "e", "f"), (3, 11)),
+    (("a", "c", "d"), (2,)),
+    (("c", "d"), (9,)),
+    (("c", "d", "e", "f"), (5, 10)),
+    (("e", "f"), (6,)),
+]
+
+
+class TestPaperFigure5:
+    def test_paths_match_figure(self, paper_tree):
+        assert paper_tree.paths() == sorted(FIGURE_5B_PATHS)
+
+    def test_node_count(self, paper_tree):
+        assert paper_tree.node_count() == 16
+
+    def test_after_first_transaction(self, running_example):
+        # Figure 5(a): only the branch a-b with tail ts-list [1].
+        first_only = TransactionalDatabase([running_example[0]])
+        params = PARAMS.resolve(len(running_example))
+        full_list = build_rp_tree(
+            running_example, params
+        )[1]
+        tree = RPTree(
+            {item: rank for rank, item in enumerate(full_list.candidates)}
+        )
+        tree.insert(full_list.sort_transaction(first_only[0].items), (1,))
+        assert tree.paths() == [(("a", "b"), (1,))]
+
+    def test_pruned_item_never_appears(self, paper_tree):
+        assert "g" not in paper_tree.nodes_by_item
+
+
+class TestTreeOperations:
+    def test_insert_empty_path_is_noop(self):
+        tree = RPTree({"a": 0})
+        tree.insert([], (1,))
+        assert tree.node_count() == 0
+
+    def test_header_bottom_up_order(self, paper_tree):
+        assert paper_tree.header_bottom_up() == ["f", "e", "d", "c", "b", "a"]
+
+    def test_pattern_timestamps_single_item(self, paper_tree, running_example):
+        # TS^f from the full tree = the item's point sequence.
+        assert paper_tree.pattern_timestamps("f") == list(
+            running_example.item_timestamps()["f"]
+        )
+
+    def test_prefix_paths_of_f(self, paper_tree):
+        base = {
+            (tuple(path), tuple(sorted(ts)))
+            for path, ts in paper_tree.prefix_paths("f")
+        }
+        # Figure 6(a): the prefix sub-paths of item f.
+        assert base == {
+            (("a", "b", "c", "d", "e"), (12,)),
+            (("a", "b", "e"), (3, 11)),
+            (("c", "d", "e"), (5, 10)),
+            (("e",), (6,)),
+        }
+
+    def test_remove_item_pushes_ts_lists_up(self, paper_tree):
+        paper_tree.remove_item("f")
+        assert "f" not in paper_tree.nodes_by_item
+        # e inherits f's ts-lists (Figure 6(c)): TS^e is now complete.
+        assert paper_tree.pattern_timestamps("e") == [3, 5, 6, 10, 11, 12]
+
+    def test_remove_non_leaf_raises(self, paper_tree):
+        with pytest.raises(RuntimeError):
+            paper_tree.remove_item("a")
+
+    def test_remove_absent_item_is_noop(self, paper_tree):
+        paper_tree.remove_item("zz")
+        assert paper_tree.node_count() == 16
+
+    def test_path_items_tail_to_root(self, paper_tree):
+        node = paper_tree.nodes_by_item["d"][0]
+        path = node.path_items()
+        assert path[-1] == "a"  # root end last
+
+
+class TestLemma2Bound:
+    def test_node_count_bounded_by_projection_sizes(self, running_example):
+        params = PARAMS.resolve(len(running_example))
+        tree, rp_list = build_rp_tree(running_example, params)
+        bound = sum(
+            len(rp_list.sort_transaction(itemset))
+            for _, itemset in running_example
+        )
+        assert tree.node_count() <= bound
+
+
+class TestConstructionEdgeCases:
+    def test_empty_database(self):
+        db = TransactionalDatabase()
+        tree, rp_list = build_rp_tree(db, PARAMS.resolve(1))
+        assert tree.node_count() == 0
+
+    def test_transaction_of_only_pruned_items(self):
+        # Only item x recurs; y appears once and is pruned.
+        db = TransactionalDatabase(
+            [(1, "xy"), (2, "x"), (3, "x"), (10, "x"), (11, "x"), (12, "x")]
+        )
+        params = MiningParameters(per=1, min_ps=3, min_rec=2).resolve(len(db))
+        tree, rp_list = build_rp_tree(db, params)
+        assert rp_list.candidates == ("x",)
+        assert tree.node_count() == 1
+
+
+class TestItemOrderStrategies:
+    def test_unknown_order_rejected(self, running_example):
+        params = PARAMS.resolve(len(running_example))
+        with pytest.raises(ValueError, match="item_order"):
+            build_rp_tree(running_example, params, item_order="random")
+
+    def test_orders_change_tree_shape_not_content(self, running_example):
+        params = PARAMS.resolve(len(running_example))
+        trees = {
+            order: build_rp_tree(running_example, params, item_order=order)[0]
+            for order in ("support-desc", "support-asc", "lexicographic")
+        }
+        # Same transactions represented (same total ts entries) ...
+        entries = {t.ts_entry_count() for t in trees.values()}
+        assert len(entries) == 1
+        # ... but support-descending is at least as compact here.
+        assert trees["support-desc"].node_count() <= (
+            trees["support-asc"].node_count()
+        )
+
+    def test_mining_output_is_order_invariant(self, running_example):
+        from repro.core.rp_growth import RPGrowth
+
+        reference = RPGrowth(2, 3, 2).mine(running_example)
+        for order in ("support-asc", "lexicographic"):
+            assert RPGrowth(2, 3, 2, item_order=order).mine(
+                running_example
+            ) == reference

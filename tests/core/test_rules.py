@@ -1,0 +1,157 @@
+"""Unit tests for recurring association rules and the recommender."""
+
+import pytest
+
+from repro.core.miner import mine_recurring_patterns
+from repro.core.model import PeriodicInterval
+from repro.core.rules import (
+    RecurringRule,
+    SeasonalRecommender,
+    derive_rules,
+)
+from repro.exceptions import ParameterError
+from repro.timeseries.database import TransactionalDatabase
+
+
+@pytest.fixture
+def table2(running_example):
+    return mine_recurring_patterns(running_example, per=2, min_ps=3, min_rec=2)
+
+
+@pytest.fixture
+def rules(table2, running_example):
+    return derive_rules(table2, running_example, min_confidence=0.5)
+
+
+class TestRuleObject:
+    def test_rejects_overlapping_sides(self):
+        with pytest.raises(ValueError):
+            RecurringRule(
+                antecedent=frozenset("a"),
+                consequent=frozenset("a"),
+                support=1,
+                confidence=1.0,
+                interval_confidence=1.0,
+                intervals=(PeriodicInterval(1, 2, 2),),
+            )
+
+    def test_rejects_empty_side(self):
+        with pytest.raises(ValueError):
+            RecurringRule(
+                antecedent=frozenset(),
+                consequent=frozenset("a"),
+                support=1,
+                confidence=1.0,
+                interval_confidence=1.0,
+                intervals=(),
+            )
+
+    def test_active_at(self):
+        rule = RecurringRule(
+            antecedent=frozenset("a"),
+            consequent=frozenset("b"),
+            support=3,
+            confidence=1.0,
+            interval_confidence=1.0,
+            intervals=(PeriodicInterval(10, 20, 5),),
+        )
+        assert rule.active_at(15)
+        assert not rule.active_at(25)
+        assert rule.active_at(25, slack=5)
+
+
+class TestDeriveRules:
+    def test_confidences_are_correct(self, rules, running_example):
+        by_sides = {
+            (tuple(sorted(r.antecedent)), tuple(sorted(r.consequent))): r
+            for r in rules
+        }
+        b_implies_a = by_sides[(("b",), ("a",))]
+        assert b_implies_a.confidence == pytest.approx(1.0)
+        a_implies_b = by_sides[(("a",), ("b",))]
+        assert a_implies_b.confidence == pytest.approx(7 / 8)
+
+    def test_rules_inherit_pattern_intervals(self, rules, table2):
+        for rule in rules:
+            assert rule.intervals == table2.pattern(rule.items()).intervals
+
+    def test_min_confidence_filters(self, table2, running_example):
+        strict = derive_rules(table2, running_example, min_confidence=0.99)
+        assert all(r.confidence >= 0.99 for r in strict)
+        loose = derive_rules(table2, running_example, min_confidence=0.5)
+        assert len(strict) < len(loose)
+
+    def test_interval_confidence_hand_computed(self, rules):
+        # a => b: inside ab's intervals [1,4] and [11,14] the antecedent
+        # a occurs at {1,2,3,4,11,12,14} (7 times) and the joint ab at
+        # {1,3,4,11,12,14} (6 times): 6/7.
+        by_sides = {
+            (tuple(sorted(r.antecedent)), tuple(sorted(r.consequent))): r
+            for r in rules
+        }
+        rule = by_sides[(("a",), ("b",))]
+        assert rule.interval_confidence == pytest.approx(6 / 7)
+        for other in rules:
+            assert 0.0 <= other.interval_confidence <= 1.0 + 1e-9
+
+    def test_sorted_by_seasonal_strength(self, rules):
+        keys = [
+            (-r.interval_confidence, -r.confidence, -r.support)
+            for r in rules
+        ]
+        assert keys == sorted(keys)
+
+    def test_rejects_bad_parameters(self, table2, running_example):
+        with pytest.raises(ParameterError):
+            derive_rules(table2, running_example, min_confidence=0)
+        with pytest.raises(ParameterError):
+            derive_rules(
+                table2, running_example, max_consequent_size=0
+            )
+
+    def test_multi_item_consequents(self, running_example):
+        # Force a 3-pattern by loosening thresholds.
+        found = mine_recurring_patterns(
+            running_example, per=3, min_ps=2, min_rec=1
+        )
+        rules = derive_rules(
+            found, running_example, min_confidence=0.1,
+            max_consequent_size=2,
+        )
+        assert any(len(r.consequent) == 2 for r in rules)
+
+
+class TestSeasonalRecommender:
+    def test_in_season_recommendation(self, rules):
+        recommender = SeasonalRecommender(rules)
+        assert recommender.recommend(basket=["a"], ts=2) == ["b"]
+        assert recommender.recommend(basket=["c"], ts=9) == ["d"]
+
+    def test_out_of_season_suppressed(self, rules):
+        recommender = SeasonalRecommender(rules)
+        assert recommender.recommend(basket=["a"], ts=8) == []
+
+    def test_out_of_season_allowed_when_asked(self, rules):
+        recommender = SeasonalRecommender(rules)
+        assert recommender.recommend(
+            basket=["a"], ts=8, in_season_only=False
+        ) == ["b"]
+
+    def test_slack_extends_seasons(self, rules):
+        recommender = SeasonalRecommender(rules, slack=4)
+        assert recommender.recommend(basket=["a"], ts=8) == ["b"]
+
+    def test_basket_items_not_recommended(self, rules):
+        recommender = SeasonalRecommender(rules)
+        assert recommender.recommend(basket=["a", "b"], ts=2) == []
+
+    def test_limit(self, running_example):
+        found = mine_recurring_patterns(
+            running_example, per=3, min_ps=2, min_rec=1
+        )
+        rules = derive_rules(found, running_example, min_confidence=0.1)
+        recommender = SeasonalRecommender(rules)
+        everything = recommender.recommend(basket=["a", "b"], ts=3, limit=10)
+        top_one = recommender.recommend(basket=["a", "b"], ts=3, limit=1)
+        assert len(everything) > 1
+        assert top_one == everything[:1]

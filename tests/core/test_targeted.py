@@ -1,0 +1,89 @@
+"""Unit and property tests for anchored (targeted) mining."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.miner import mine_recurring_patterns
+from repro.core.targeted import mine_patterns_containing
+from repro.timeseries.database import TransactionalDatabase
+from tests.conftest import mining_parameters, small_databases
+
+RELAXED = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestAnchoredMining:
+    def test_running_example_anchor_d(self, running_example):
+        found = mine_patterns_containing(
+            running_example, "d", per=2, min_ps=3, min_rec=2
+        )
+        assert sorted("".join(sorted(p.items)) for p in found) == ["cd", "d"]
+
+    def test_anchor_need_not_be_recurring(self, running_example):
+        # c is not recurring but cd is: anchoring at c must find cd.
+        found = mine_patterns_containing(
+            running_example, "c", per=2, min_ps=3, min_rec=2
+        )
+        assert "cd" in found
+        assert "c" not in found
+
+    def test_non_candidate_anchor_yields_nothing(self, running_example):
+        # g fails the Erec bound: nothing above it can recur.
+        found = mine_patterns_containing(
+            running_example, "g", per=2, min_ps=3, min_rec=2
+        )
+        assert len(found) == 0
+
+    def test_multi_item_anchor(self, running_example):
+        found = mine_patterns_containing(
+            running_example, "ab", per=2, min_ps=3, min_rec=2
+        )
+        assert sorted("".join(sorted(p.items)) for p in found) == ["ab"]
+
+    def test_absent_anchor(self, running_example):
+        found = mine_patterns_containing(
+            running_example, ["nope"], per=2, min_ps=1, min_rec=1
+        )
+        assert len(found) == 0
+
+    def test_empty_anchor_rejected(self, running_example):
+        with pytest.raises(ValueError):
+            mine_patterns_containing(
+                running_example, [], per=2, min_ps=3
+            )
+
+    def test_empty_database(self):
+        found = mine_patterns_containing(
+            TransactionalDatabase(), "a", per=1, min_ps=1
+        )
+        assert len(found) == 0
+
+    def test_metadata_matches_global_mining(self, running_example):
+        anchored = mine_patterns_containing(
+            running_example, "d", per=2, min_ps=3, min_rec=2
+        )
+        full = mine_recurring_patterns(running_example, 2, 3, 2)
+        assert anchored.pattern("cd") == full.pattern("cd")
+
+
+class TestEquivalenceWithFilter:
+    @RELAXED
+    @given(
+        db=small_databases(),
+        params=mining_parameters(),
+        anchor=st.sampled_from("abc"),
+    )
+    def test_anchored_equals_filtered_global(self, db, params, anchor):
+        per, min_ps, min_rec = params
+        anchored = mine_patterns_containing(
+            db, anchor, per, min_ps, min_rec
+        )
+        full = mine_recurring_patterns(db, per, min_ps, min_rec)
+        expected = {
+            p.items for p in full if anchor in p.items
+        }
+        assert anchored.itemsets() == expected

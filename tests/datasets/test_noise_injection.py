@@ -1,0 +1,91 @@
+"""Tests for the dropout/jitter noise injectors."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.noise import apply_dropout, apply_jitter
+from repro.exceptions import ParameterError
+from repro.timeseries.database import TransactionalDatabase
+from tests.conftest import small_databases
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestDropout:
+    def test_rate_zero_is_identity(self, running_example):
+        assert apply_dropout(running_example, 0.0) == running_example
+
+    def test_rate_one_erases_everything(self, running_example):
+        assert len(apply_dropout(running_example, 1.0)) == 0
+
+    def test_deterministic_per_seed(self, running_example):
+        assert apply_dropout(running_example, 0.3, seed=5) == apply_dropout(
+            running_example, 0.3, seed=5
+        )
+
+    def test_occurrences_only_removed_never_added(self, running_example):
+        noisy = apply_dropout(running_example, 0.4, seed=1)
+        original = {
+            (ts, item)
+            for ts, items in running_example
+            for item in items
+        }
+        corrupted = {
+            (ts, item) for ts, items in noisy for item in items
+        }
+        assert corrupted <= original
+        assert len(corrupted) < len(original)
+
+    def test_rejects_bad_rate(self, running_example):
+        with pytest.raises(ParameterError):
+            apply_dropout(running_example, 1.5)
+
+    @RELAXED
+    @given(db=small_databases(), rate=st.floats(0.0, 1.0))
+    def test_random_databases_shrink_monotonically(self, db, rate):
+        noisy = apply_dropout(db, rate, seed=3)
+        assert len(noisy) <= len(db)
+        for _, items in noisy:
+            assert items  # no empty transactions survive
+
+
+class TestJitter:
+    def test_zero_offset_is_identity(self, running_example):
+        assert apply_jitter(running_example, 0.0) is running_example
+
+    def test_preserves_transaction_count_and_items(self, running_example):
+        noisy = apply_jitter(running_example, 0.4, seed=2)
+        assert len(noisy) == len(running_example)
+        assert [items for _, items in noisy] == [
+            items for _, items in running_example
+        ]
+
+    def test_order_never_crosses(self):
+        db = TransactionalDatabase([(ts, "a") for ts in range(0, 100, 3)])
+        noisy = apply_jitter(db, max_offset=10.0, seed=9)
+        timestamps = [ts for ts, _ in noisy]
+        assert timestamps == sorted(timestamps)
+        assert len(noisy) == len(db)
+
+    def test_offsets_bounded(self):
+        db = TransactionalDatabase([(ts, "a") for ts in range(0, 1000, 10)])
+        noisy = apply_jitter(db, max_offset=2.0, seed=4)
+        for (orig, _), (new, _) in zip(db, noisy):
+            assert abs(new - orig) <= 2.0
+
+    def test_rejects_negative_offset(self, running_example):
+        with pytest.raises(ParameterError):
+            apply_jitter(running_example, -1.0)
+
+    @RELAXED
+    @given(db=small_databases(), offset=st.floats(0.0, 5.0))
+    def test_random_databases_keep_structure(self, db, offset):
+        noisy = apply_jitter(db, offset, seed=11)
+        assert len(noisy) == len(db)
+        timestamps = [ts for ts, _ in noisy]
+        assert timestamps == sorted(timestamps)

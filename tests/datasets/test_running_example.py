@@ -1,0 +1,35 @@
+"""Unit tests for the bundled running example."""
+
+from repro.datasets import (
+    paper_running_example,
+    paper_running_example_events,
+    paper_table2_patterns,
+)
+from repro.timeseries.database import TransactionalDatabase
+
+
+class TestRunningExample:
+    def test_matches_table1(self):
+        db = paper_running_example()
+        assert len(db) == 12
+        assert db[0] == (1, frozenset("abg"))
+        assert db[-1] == (14, frozenset("abg"))
+
+    def test_events_and_database_agree(self):
+        assert TransactionalDatabase.from_events(
+            paper_running_example_events()
+        ) == paper_running_example()
+
+    def test_fresh_copy_each_call(self):
+        assert paper_running_example() is not paper_running_example()
+
+    def test_table2_has_eight_patterns(self):
+        table = paper_table2_patterns()
+        assert len(table) == 8
+        assert set(table) == {"a", "b", "d", "e", "f", "ab", "cd", "ef"}
+
+    def test_table2_metadata_consistent(self):
+        db = paper_running_example()
+        for items, (support, rec, intervals) in paper_table2_patterns().items():
+            assert db.support(items) == support
+            assert len(intervals) == rec

@@ -1,0 +1,107 @@
+"""Integration: the extension modules composed into one workflow.
+
+mine → condense → analyse → derive rules → report → persist → reload,
+on a realistic seasonal workload, checking the hand-offs between
+modules rather than any one module's internals.
+"""
+
+import io
+
+import pytest
+
+from repro import (
+    SeasonalRecommender,
+    closed_patterns,
+    derive_rules,
+    maximal_patterns,
+    mine_patterns_containing,
+    mine_recurring_patterns,
+    suggest_per,
+)
+from repro.analysis import co_seasonal_groups, seasonality_score
+from repro.datasets import generate_planted_workload
+from repro.patterns_io import load_patterns, save_patterns
+from repro.report import render_mining_report
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_planted_workload(
+        per=5, min_ps=6, min_rec=2, n_patterns=3, pattern_size=3, seed=77
+    )
+
+
+@pytest.fixture(scope="module")
+def mined(workload):
+    return mine_recurring_patterns(
+        workload.database, workload.per, workload.min_ps, workload.min_rec
+    )
+
+
+class TestPipeline:
+    def test_mined_matches_ground_truth(self, workload, mined):
+        assert mined.itemsets() == {p.items for p in workload.expected}
+
+    def test_condensations_nest(self, mined):
+        closed = closed_patterns(mined)
+        maximal = maximal_patterns(mined)
+        assert maximal.itemsets() <= closed.itemsets() <= mined.itemsets()
+        # Planted itemsets always co-occur: the 3 maximal patterns are
+        # exactly the 3 planted triples.
+        assert len(maximal) == 3
+        assert all(p.length == 3 for p in maximal)
+
+    def test_analysis_recovers_plant_structure(self, workload, mined):
+        for pattern in mined:
+            assert seasonality_score(
+                pattern, workload.database
+            ) == pytest.approx(1.0)
+        groups = co_seasonal_groups(list(maximal_patterns(mined)), 0.5)
+        # The three plants occupy disjoint time ranges.
+        assert len(groups) == 3
+
+    def test_targeted_mining_agrees(self, workload, mined):
+        anchor = next(iter(workload.expected)).sorted_items()[0]
+        anchored = mine_patterns_containing(
+            workload.database,
+            [anchor],
+            workload.per,
+            workload.min_ps,
+            workload.min_rec,
+        )
+        assert anchored.itemsets() == {
+            p.items for p in mined if anchor in p.items
+        }
+
+    def test_rules_from_planted_patterns_are_certain(self, workload, mined):
+        rules = derive_rules(mined, workload.database, min_confidence=0.9)
+        assert rules, "co-occurring plants must yield rules"
+        for rule in rules:
+            assert rule.confidence == pytest.approx(1.0)
+            assert rule.interval_confidence == pytest.approx(1.0)
+        recommender = SeasonalRecommender(rules)
+        first = next(iter(maximal_patterns(mined)))
+        items = list(first.sorted_items())
+        inside_ts = first.intervals[0].start
+        picks = recommender.recommend(basket=items[:2], ts=inside_ts)
+        assert items[2] in picks
+
+    def test_suggest_per_reproduces_plant_step(self, workload):
+        # The dominant gap is the planted step (= per).
+        suggestion = suggest_per(workload.database, quantile=0.5)
+        assert suggestion.per <= workload.per * 2
+
+    def test_report_and_persistence(self, workload, mined):
+        text = render_mining_report(
+            workload.database,
+            mined,
+            workload.per,
+            workload.min_ps,
+            workload.min_rec,
+        )
+        assert "## Patterns" in text
+        assert "### Co-seasonal groups" in text
+        buffer = io.StringIO()
+        save_patterns(mined, buffer)
+        buffer.seek(0)
+        assert load_patterns(buffer) == mined

@@ -1,0 +1,94 @@
+"""Cross-model containment relations (the theory behind Table 8).
+
+These are the formal relationships between the three pattern families
+the paper compares; they explain *why* the counts in Table 8 are
+ordered the way they are.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import mine_recurring_patterns
+from repro.baselines import (
+    mine_p_patterns,
+    mine_periodic_frequent_patterns,
+)
+from tests.conftest import small_databases
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestContainments:
+    @RELAXED
+    @given(
+        db=small_databases(),
+        per=st.integers(1, 8),
+        min_sup=st.integers(2, 5),
+    )
+    def test_periodic_frequent_subset_of_recurring(self, db, per, min_sup):
+        """PF(minSup, maxPer) ⊆ RP(per=maxPer, minPS=minSup, minRec=1).
+
+        A periodic-frequent pattern cycles through the whole database,
+        so all its occurrences sit in one periodic-interval whose
+        periodic-support equals its support.
+        """
+        pf = mine_periodic_frequent_patterns(db, min_sup, per)
+        recurring = mine_recurring_patterns(db, per, min_sup, 1)
+        assert pf.itemsets() <= recurring.itemsets()
+
+    @RELAXED
+    @given(
+        db=small_databases(),
+        per=st.integers(1, 8),
+        min_ps=st.integers(2, 5),
+        min_rec=st.integers(1, 3),
+    )
+    def test_recurring_subset_of_p_patterns(self, db, per, min_ps, min_rec):
+        """RP(per, minPS, minRec) ⊆ PP(per, minSup=minRec*(minPS-1)).
+
+        Each interesting periodic-interval with ps occurrences
+        contributes ps-1 >= minPS-1 periodic inter-arrival times, and a
+        recurring pattern has at least minRec of them.
+        """
+        recurring = mine_recurring_patterns(db, per, min_ps, min_rec)
+        min_sup = min_rec * (min_ps - 1)
+        if min_sup < 1:
+            return
+        p_patterns = mine_p_patterns(db, per, min_sup)
+        assert recurring.itemsets() <= p_patterns.itemsets()
+
+    @RELAXED
+    @given(db=small_databases(), per=st.integers(1, 8))
+    def test_p_patterns_ignore_localisation(self, db, per):
+        """Every p-pattern count equals the recurring model's total
+        periodic appearances: sum over ALL periodic-intervals of
+        (ps - 1)."""
+        from repro.core.intervals import periodic_intervals
+
+        for pattern in mine_p_patterns(db, per, 1):
+            ts = db.timestamps_of(pattern.items)
+            total = sum(
+                ps - 1 for _, _, ps in periodic_intervals(ts, per)
+            )
+            assert pattern.periodic_support == total
+
+
+class TestRareItemTolerance:
+    @RELAXED
+    @given(db=small_databases(), per=st.integers(1, 5))
+    def test_recurring_never_reports_scattered_patterns(self, db, per):
+        """With minPS >= 3 every reported pattern has a dense stretch —
+        three consecutive occurrences each within per — which a plain
+        support threshold cannot guarantee."""
+        found = mine_recurring_patterns(db, per, min_ps=3, min_rec=1)
+        for pattern in found:
+            ts = db.timestamps_of(pattern.items)
+            has_dense_stretch = any(
+                later2 - later1 <= per and later1 - earlier <= per
+                for earlier, later1, later2 in zip(ts, ts[1:], ts[2:])
+            )
+            assert has_dense_stretch

@@ -1,0 +1,156 @@
+"""Unit and property tests for the temporal analysis helpers."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import mine_recurring_patterns
+from repro.analysis import (
+    co_seasonal_groups,
+    interval_coverage,
+    seasonality_score,
+    temporal_overlap,
+)
+from repro.core.model import PeriodicInterval, RecurringPattern
+from repro.exceptions import ParameterError
+from tests.conftest import mining_parameters, small_databases
+
+
+def make_pattern(items, spans):
+    return RecurringPattern(
+        items=frozenset(items),
+        support=max(1, sum(3 for _ in spans)),
+        intervals=tuple(PeriodicInterval(s, e, 3) for s, e in spans),
+    )
+
+
+class TestCoverage:
+    def test_half_covered(self):
+        pattern = make_pattern("x", [(0, 5), (15, 20)])
+        assert interval_coverage(pattern, 0, 20) == pytest.approx(0.5)
+
+    def test_clipping_to_range(self):
+        pattern = make_pattern("x", [(0, 100)])
+        assert interval_coverage(pattern, 40, 60) == pytest.approx(1.0)
+
+    def test_disjoint_range(self):
+        pattern = make_pattern("x", [(0, 5)])
+        assert interval_coverage(pattern, 50, 60) == 0.0
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ParameterError):
+            interval_coverage(make_pattern("x", [(0, 5)]), 5, 5)
+
+
+class TestOverlap:
+    def test_identical_is_one(self):
+        a = make_pattern("a", [(0, 10), (20, 30)])
+        b = make_pattern("b", [(0, 10), (20, 30)])
+        assert temporal_overlap(a, b) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        a = make_pattern("a", [(0, 10)])
+        b = make_pattern("b", [(20, 30)])
+        assert temporal_overlap(a, b) == 0.0
+
+    def test_partial(self):
+        a = make_pattern("a", [(0, 10)])
+        b = make_pattern("b", [(5, 15)])
+        assert temporal_overlap(a, b) == pytest.approx(5 / 15)
+
+    def test_symmetry(self):
+        a = make_pattern("a", [(0, 7)])
+        b = make_pattern("b", [(3, 20)])
+        assert temporal_overlap(a, b) == temporal_overlap(b, a)
+
+    def test_point_intervals_are_safe(self):
+        a = make_pattern("a", [(5, 5)])
+        b = make_pattern("b", [(5, 5)])
+        assert temporal_overlap(a, b) == 0.0
+
+    def test_overlapping_own_intervals_merged(self):
+        # Intervals of one pattern never overlap in practice, but the
+        # span union must be robust anyway.
+        a = make_pattern("a", [(0, 10), (5, 20)])
+        b = make_pattern("b", [(0, 20)])
+        assert temporal_overlap(a, b) == pytest.approx(1.0)
+
+
+class TestGroups:
+    def test_event_grouping(self):
+        storm = [make_pattern(tag, [(0, 10)]) for tag in ("s1", "s2", "s3")]
+        flood = [make_pattern("f1", [(50, 80)])]
+        groups = co_seasonal_groups(storm + flood, min_overlap=0.5)
+        assert [len(g) for g in groups] == [3, 1]
+
+    def test_transitive_chaining(self):
+        a = make_pattern("a", [(0, 10)])
+        b = make_pattern("b", [(4, 14)])
+        c = make_pattern("c", [(8, 18)])
+        # a-b and b-c overlap >= 0.4; a-c barely overlap.
+        groups = co_seasonal_groups([a, c, b], min_overlap=0.4)
+        assert len(groups) == 1
+
+    def test_empty_input(self):
+        assert co_seasonal_groups([]) == []
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ParameterError):
+            co_seasonal_groups([], min_overlap=2.0)
+
+    def test_running_example_groups(self, running_example):
+        found = mine_recurring_patterns(
+            running_example, per=2, min_ps=3, min_rec=2
+        )
+        groups = co_seasonal_groups(found, min_overlap=0.6)
+        # a/b/ab share seasons [1,4] & [11,14]; d/cd share [2,5] & [9,12];
+        # e/f/ef share [3,6] & [10,12].
+        by_members = {
+            frozenset(
+                "".join(sorted(map(str, p.items))) for p in group
+            )
+            for group in groups
+        }
+        assert frozenset({"a", "b", "ab"}) in by_members
+
+
+class TestSeasonality:
+    def test_planted_patterns_score_one(self, planted_workload):
+        found = mine_recurring_patterns(
+            planted_workload.database,
+            planted_workload.per,
+            planted_workload.min_ps,
+            planted_workload.min_rec,
+        )
+        for pattern in found:
+            assert seasonality_score(
+                pattern, planted_workload.database
+            ) == pytest.approx(1.0)
+
+    def test_background_scores_below_one(self, running_example):
+        found = mine_recurring_patterns(
+            running_example, per=2, min_ps=3, min_rec=2
+        )
+        # a occurs at ts=7, outside its intervals [1,4] and [11,14].
+        assert seasonality_score(
+            found.pattern("a"), running_example
+        ) == pytest.approx(7 / 8)
+
+    def test_score_bounds(self, running_example):
+        found = mine_recurring_patterns(
+            running_example, per=2, min_ps=3, min_rec=1
+        )
+        for pattern in found:
+            score = seasonality_score(pattern, running_example)
+            assert 0.0 < score <= 1.0
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(db=small_databases(), params=mining_parameters())
+    def test_scores_always_in_unit_interval(self, db, params):
+        per, min_ps, min_rec = params
+        for pattern in mine_recurring_patterns(db, per, min_ps, min_rec):
+            assert 0.0 < seasonality_score(pattern, db) <= 1.0

@@ -1,0 +1,62 @@
+"""Documentation-coverage guard: every public item carries a docstring.
+
+"Doc comments on every public item" is a deliverable; this meta-test
+enforces it structurally so a future addition cannot silently regress
+it.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        names.append(module_info.name)
+    return sorted(names)
+
+
+def _public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (
+            inspect.isclass(member) or inspect.isfunction(member)
+        ):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-exports are documented at their home module
+        yield name, member
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, member in _public_members(module):
+        if not (member.__doc__ and member.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(member):
+            for method_name, method in vars(member).items():
+                if method_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(method):
+                    continue
+                if not (method.__doc__ and method.__doc__.strip()):
+                    undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, (
+        f"undocumented public items in {module_name}: {undocumented}"
+    )

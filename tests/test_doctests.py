@@ -1,0 +1,35 @@
+"""Run every module's doctests as part of the suite.
+
+The docstrings double as executable documentation; this meta-test keeps
+them honest without requiring a separate ``--doctest-modules`` run.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        names.append(module_info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        verbose=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module_name}"
+    )

@@ -1,0 +1,78 @@
+"""Smoke tests for the example scripts.
+
+The examples are real programs, not snippets — some generate
+multi-month synthetic streams and take minutes.  They are therefore
+opt-in: set ``REPRO_RUN_EXAMPLES=1`` to execute every script end to
+end (each asserts its own headline result internally, so completing
+without an exception IS the test).  A cheap structural check always
+runs: every example must parse, have a module docstring and define a
+``main`` guarded by ``__main__``.
+"""
+
+import ast
+import os
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+RUN_FULL = os.environ.get("REPRO_RUN_EXAMPLES") == "1"
+
+
+def _example_ids():
+    return [path.stem for path in EXAMPLES]
+
+
+class TestStructure:
+    def test_expected_examples_present(self):
+        names = {path.stem for path in EXAMPLES}
+        assert {
+            "quickstart",
+            "retail_seasonality",
+            "twitter_bursts",
+            "network_monitoring",
+            "streaming_monitor",
+            "seasonal_recommender",
+            "stock_rallies",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=_example_ids())
+    def test_parses_with_docstring_and_main(self, path):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        assert ast.get_docstring(tree), f"{path.name} has no docstring"
+        names = {
+            node.name
+            for node in tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in names, f"{path.name} defines no main()"
+        has_guard = any(
+            isinstance(node, ast.If)
+            and isinstance(node.test, ast.Compare)
+            and getattr(node.test.left, "id", None) == "__name__"
+            for node in tree.body
+        )
+        assert has_guard, f"{path.name} lacks the __main__ guard"
+
+
+class TestQuickstartAlwaysRuns:
+    def test_quickstart(self, capsys):
+        # The quickstart is fast enough for the regular suite.
+        runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "paper Table 2" in out
+        assert "'cd' recurring?  True" in out
+
+
+@pytest.mark.skipif(
+    not RUN_FULL, reason="full example runs are opt-in: REPRO_RUN_EXAMPLES=1"
+)
+class TestFullRuns:
+    @pytest.mark.parametrize("path", EXAMPLES, ids=_example_ids())
+    def test_example_completes(self, path, capsys):
+        runpy.run_path(str(path), run_name="__main__")
+        assert capsys.readouterr().out.strip()

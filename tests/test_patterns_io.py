@@ -1,0 +1,139 @@
+"""Round-trip tests for pattern-set persistence."""
+
+import io
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import mine_recurring_patterns
+from repro.core.rp_growth import RPGrowth
+from repro.exceptions import DataFormatError
+from repro.patterns_io import load_patterns, save_patterns
+from tests.conftest import mining_parameters, small_databases
+
+
+@pytest.fixture
+def table2(running_example):
+    return mine_recurring_patterns(running_example, 2, 3, 2)
+
+
+class TestRoundTrip:
+    def test_via_path(self, tmp_path, table2):
+        path = tmp_path / "patterns.tsv"
+        save_patterns(table2, path)
+        assert load_patterns(path) == table2
+
+    def test_via_handle(self, table2):
+        buffer = io.StringIO()
+        save_patterns(table2, buffer)
+        buffer.seek(0)
+        assert load_patterns(buffer) == table2
+
+    def test_empty_set(self):
+        from repro.core.model import RecurringPatternSet
+
+        buffer = io.StringIO()
+        save_patterns(RecurringPatternSet(), buffer)
+        buffer.seek(0)
+        assert len(load_patterns(buffer)) == 0
+
+    def test_float_boundaries_survive(self):
+        from repro.timeseries.database import TransactionalDatabase
+
+        db = TransactionalDatabase(
+            [(0.5, "a"), (1.0, "a"), (1.5, "a")]
+        )
+        found = mine_recurring_patterns(db, per=0.5, min_ps=3)
+        buffer = io.StringIO()
+        save_patterns(found, buffer)
+        buffer.seek(0)
+        assert load_patterns(buffer) == found
+
+    def test_multi_char_items_survive(self):
+        from repro.timeseries.database import TransactionalDatabase
+
+        db = TransactionalDatabase(
+            [(ts, ["link_down", "bgp_flap"]) for ts in range(5)]
+        )
+        found = mine_recurring_patterns(db, per=1, min_ps=5)
+        buffer = io.StringIO()
+        save_patterns(found, buffer)
+        buffer.seek(0)
+        assert load_patterns(buffer) == found
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(db=small_databases(), params=mining_parameters())
+    def test_random_pattern_sets(self, db, params):
+        per, min_ps, min_rec = params
+        found = RPGrowth(per, min_ps, min_rec).mine(db)
+        buffer = io.StringIO()
+        save_patterns(found, buffer)
+        buffer.seek(0)
+        assert load_patterns(buffer) == found
+
+
+class TestMalformedInput:
+    def test_missing_header(self):
+        with pytest.raises(DataFormatError, match="header"):
+            load_patterns(io.StringIO("a\t1\t1:1:1\n"))
+
+    def test_wrong_column_count(self):
+        text = "# repro recurring patterns v1\na\t1\n"
+        with pytest.raises(DataFormatError, match="3 tab-separated"):
+            load_patterns(io.StringIO(text))
+
+    def test_bad_support(self):
+        text = "# repro recurring patterns v1\na\tmany\t1:2:2\n"
+        with pytest.raises(DataFormatError, match="bad support"):
+            load_patterns(io.StringIO(text))
+
+    def test_bad_interval(self):
+        text = "# repro recurring patterns v1\na\t2\t1-2-2\n"
+        with pytest.raises(DataFormatError, match="bad interval"):
+            load_patterns(io.StringIO(text))
+
+    def test_comments_and_blanks_tolerated(self, table2):
+        buffer = io.StringIO()
+        save_patterns(table2, buffer)
+        text = buffer.getvalue() + "\n# trailing comment\n"
+        assert load_patterns(io.StringIO(text)) == table2
+
+
+class TestSeparatorSafety:
+    def test_items_with_spaces_rejected(self):
+        from repro.core.model import (
+            PeriodicInterval,
+            RecurringPattern,
+            RecurringPatternSet,
+        )
+
+        patterns = RecurringPatternSet([
+            RecurringPattern(
+                items=frozenset({"two words"}),
+                support=3,
+                intervals=(PeriodicInterval(1, 3, 3),),
+            )
+        ])
+        with pytest.raises(DataFormatError, match="separator"):
+            save_patterns(patterns, io.StringIO())
+
+    def test_items_with_colon_rejected(self):
+        from repro.core.model import (
+            PeriodicInterval,
+            RecurringPattern,
+            RecurringPatternSet,
+        )
+
+        patterns = RecurringPatternSet([
+            RecurringPattern(
+                items=frozenset({"a:b"}),
+                support=3,
+                intervals=(PeriodicInterval(1, 3, 3),),
+            )
+        ])
+        with pytest.raises(DataFormatError):
+            save_patterns(patterns, io.StringIO())

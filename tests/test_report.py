@@ -1,0 +1,93 @@
+"""Unit tests for the markdown report module."""
+
+import io
+
+import pytest
+
+from repro import RPGrowth, mine_recurring_patterns
+from repro.report import render_mining_report, write_mining_report
+from repro.timeseries.database import TransactionalDatabase
+
+
+@pytest.fixture
+def report(running_example):
+    miner = RPGrowth(2, 3, 2)
+    found = miner.mine(running_example)
+    return render_mining_report(
+        running_example, found, 2, 3, 2, stats=miner.last_stats
+    )
+
+
+class TestRender:
+    def test_sections_present(self, report):
+        for heading in (
+            "# Recurring-pattern mining report",
+            "## Input",
+            "## Parameters",
+            "## Mining statistics",
+            "## Patterns",
+            "### Timeline",
+            "### Co-seasonal groups",
+        ):
+            assert heading in report
+
+    def test_pattern_rows(self, report):
+        assert "| a b | 7 | 2 |" in report
+        assert "[1, 4]:3, [11, 14]:3" in report
+
+    def test_stats_rows(self, report):
+        assert "| items pruned by Erec | 1 |" in report
+        assert "| patterns found | 8 |" in report
+
+    def test_max_patterns_truncates(self, running_example):
+        found = mine_recurring_patterns(running_example, 2, 3, 2)
+        text = render_mining_report(
+            running_example, found, 2, 3, 2, max_patterns=2
+        )
+        assert "showing the first 2" in text
+
+    def test_empty_database(self):
+        from repro.core.model import RecurringPatternSet
+
+        text = render_mining_report(
+            TransactionalDatabase(), RecurringPatternSet(), 1, 1, 1
+        )
+        assert "(empty database)" in text
+        assert "0 recurring patterns" in text
+
+    def test_deterministic(self, running_example):
+        found = mine_recurring_patterns(running_example, 2, 3, 2)
+        first = render_mining_report(running_example, found, 2, 3, 2)
+        second = render_mining_report(running_example, found, 2, 3, 2)
+        assert first == second
+
+
+class TestWrite:
+    def test_to_path(self, tmp_path, running_example):
+        found = mine_recurring_patterns(running_example, 2, 3, 2)
+        path = tmp_path / "report.md"
+        write_mining_report(path, running_example, found, 2, 3, 2)
+        assert "## Patterns" in path.read_text()
+
+    def test_to_handle(self, running_example):
+        found = mine_recurring_patterns(running_example, 2, 3, 2)
+        buffer = io.StringIO()
+        write_mining_report(buffer, running_example, found, 2, 3, 2)
+        assert "## Patterns" in buffer.getvalue()
+
+
+class TestCliIntegration:
+    def test_mine_report_flag(self, tmp_path, running_example):
+        from repro.cli import main
+        from repro.timeseries.io import save_transactional_database
+
+        data = tmp_path / "db.tsv"
+        save_transactional_database(running_example, data)
+        report_path = tmp_path / "run.md"
+        code = main([
+            "mine", "--input", str(data),
+            "--per", "2", "--min-ps", "3", "--min-rec", "2",
+            "--report", str(report_path),
+        ])
+        assert code == 0
+        assert "8 recurring patterns" in report_path.read_text()

@@ -1,0 +1,91 @@
+"""Unit tests for shared validation helpers and the exception hierarchy."""
+
+import pytest
+
+from repro._validation import (
+    check_count,
+    check_non_negative,
+    check_positive,
+    resolve_count_threshold,
+)
+from repro.exceptions import (
+    DataFormatError,
+    EmptyDatabaseError,
+    ParameterError,
+    ReproError,
+    SearchSpaceError,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(3, "x") == 3
+        assert check_positive(0.5, "x") == 0.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ParameterError, match="x must be > 0"):
+            check_positive(bad, "x")
+
+    @pytest.mark.parametrize("bad", [True, "3", None, float("nan"), float("inf")])
+    def test_rejects_non_numbers(self, bad):
+        with pytest.raises(ParameterError):
+            check_positive(bad, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            check_non_negative(-1, "x")
+
+
+class TestCheckCount:
+    def test_accepts_counts(self):
+        assert check_count(1, "x") == 1
+
+    def test_minimum(self):
+        assert check_count(0, "x", minimum=0) == 0
+        with pytest.raises(ParameterError):
+            check_count(0, "x", minimum=1)
+
+    @pytest.mark.parametrize("bad", [1.0, True, "1"])
+    def test_rejects_non_int(self, bad):
+        with pytest.raises(ParameterError):
+            check_count(bad, "x")
+
+
+class TestResolveCountThreshold:
+    def test_int_passthrough(self):
+        assert resolve_count_threshold(5, "x", 100) == 5
+
+    def test_fraction_uses_ceil(self):
+        assert resolve_count_threshold(0.001, "x", 1500) == 2
+
+    def test_fraction_of_one_is_total(self):
+        assert resolve_count_threshold(1.0, "x", 40) == 40
+
+    def test_fraction_never_below_one(self):
+        assert resolve_count_threshold(0.0001, "x", 10) == 1
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, 0.0, -0.5, float("nan"), "x", True])
+    def test_rejects_bad_values(self, bad):
+        with pytest.raises(ParameterError):
+            resolve_count_threshold(bad, "x", 100)
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ParameterError, DataFormatError, EmptyDatabaseError,
+                    SearchSpaceError):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        # Callers catching plain ValueError still see parameter/data errors.
+        for exc in (ParameterError, DataFormatError, EmptyDatabaseError):
+            assert issubclass(exc, ValueError)
+
+    def test_search_space_is_runtime_error(self):
+        assert issubclass(SearchSpaceError, RuntimeError)

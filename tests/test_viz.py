@@ -1,0 +1,99 @@
+"""Unit tests for the terminal visualisations."""
+
+import pytest
+
+from repro import mine_recurring_patterns
+from repro.core.model import PeriodicInterval, RecurringPattern
+from repro.exceptions import ParameterError
+from repro.viz import render_interval_ruler, render_sparkline, render_timeline
+
+
+def make_pattern(items, intervals):
+    return RecurringPattern(
+        items=frozenset(items),
+        support=sum(ps for _, _, ps in intervals),
+        intervals=tuple(
+            PeriodicInterval(start, end, ps) for start, end, ps in intervals
+        ),
+    )
+
+
+class TestTimeline:
+    def test_intervals_fill_expected_cells(self):
+        pattern = make_pattern("x", [(0, 4, 5)])
+        text = render_timeline([pattern], 0, 9, width=10)
+        row = text.splitlines()[0]
+        assert row == "x |█████·····|"
+
+    def test_multiple_rows_aligned(self):
+        patterns = [
+            make_pattern("a", [(0, 1, 2)]),
+            make_pattern("bc", [(8, 9, 2)]),
+        ]
+        lines = render_timeline(patterns, 0, 9, width=10).splitlines()
+        bars = [line.index("|") for line in lines[:2]]
+        assert bars[0] == bars[1]
+
+    def test_point_interval_is_visible(self):
+        pattern = make_pattern("x", [(5, 5, 1)])
+        text = render_timeline([pattern], 0, 10, width=11)
+        assert "█" in text
+
+    def test_out_of_range_intervals_clamped(self):
+        pattern = make_pattern("x", [(0, 100, 3)])
+        text = render_timeline([pattern], 10, 20, width=10)
+        row = text.splitlines()[0]
+        assert row.count("█") == 10
+
+    def test_ruler_always_appended(self):
+        pattern = make_pattern("x", [(0, 1, 2)])
+        assert "0^" in render_timeline([pattern], 0, 9, width=10)
+
+    def test_empty_patterns_render_ruler_only(self):
+        assert render_timeline([], 0, 9, width=10) == (
+            render_interval_ruler(0, 9, 10)
+        )
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            render_timeline([], 10, 0)
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ParameterError):
+            render_timeline([], 0, 10, width=1)
+
+    def test_running_example_rows(self, running_example):
+        found = mine_recurring_patterns(
+            running_example, per=2, min_ps=3, min_rec=2
+        )
+        text = render_timeline(found, 1, 14, width=28)
+        assert len(text.splitlines()) == 9  # 8 patterns + ruler
+
+
+class TestSparkline:
+    def test_ascending(self):
+        assert render_sparkline(range(8)) == "▁▂▃▄▅▆▇█"
+
+    def test_constant(self):
+        assert render_sparkline([3, 3]) == "▁▁"
+
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+    def test_length_matches_input(self):
+        assert len(render_sparkline([5, 1, 9, 2, 2])) == 5
+
+    def test_extremes_hit_extreme_glyphs(self):
+        line = render_sparkline([0, 100, 50])
+        assert line[0] == "▁"
+        assert line[1] == "█"
+
+
+class TestRuler:
+    def test_endpoints_labelled(self):
+        ruler = render_interval_ruler(5, 95, width=20)
+        assert ruler.startswith("5^")
+        assert ruler.endswith("^95")
+
+    def test_width_respected(self):
+        assert len(render_interval_ruler(0, 9, width=30)) == 32

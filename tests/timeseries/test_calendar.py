@@ -1,0 +1,65 @@
+"""Unit tests for minute-calendar helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.timeseries.calendar import (
+    MINUTES_PER_DAY,
+    MINUTES_PER_HOUR,
+    MINUTES_PER_WEEK,
+    day_and_time,
+    day_of,
+    format_minutes,
+    hour_of_day,
+    minute_of_day,
+    minutes,
+)
+
+
+class TestCompose:
+    def test_constants(self):
+        assert MINUTES_PER_HOUR == 60
+        assert MINUTES_PER_DAY == 1440
+        assert MINUTES_PER_WEEK == 10080
+
+    def test_minutes(self):
+        assert minutes(days=1) == 1440
+        assert minutes(hours=6) == 360
+        assert minutes(days=2, hours=3, mins=4) == 3064
+
+    def test_fractional(self):
+        assert minutes(hours=0.5) == 30
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            minutes(days=-1)
+
+
+class TestDecompose:
+    def test_day_boundaries(self):
+        assert day_of(0) == 0
+        assert day_of(1439) == 0
+        assert day_of(1440) == 1
+
+    def test_minute_and_hour_of_day(self):
+        ts = minutes(days=2, hours=13, mins=45)
+        assert minute_of_day(ts) == 13 * 60 + 45
+        assert hour_of_day(ts) == 13
+
+    def test_day_and_time(self):
+        assert day_and_time(minutes(days=5, hours=23, mins=59)) == (5, 23, 59)
+
+    def test_format(self):
+        assert format_minutes(0) == "d0 00:00"
+        assert format_minutes(minutes(days=51, hours=1, mins=8)) == "d51 01:08"
+
+    @given(
+        days=st.integers(0, 400),
+        hours=st.integers(0, 23),
+        mins=st.integers(0, 59),
+    )
+    def test_compose_decompose_round_trip(self, days, hours, mins):
+        ts = minutes(days=days, hours=hours, mins=mins)
+        assert day_and_time(ts) == (days, hours, mins)

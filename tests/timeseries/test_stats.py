@@ -1,0 +1,69 @@
+"""Unit tests for database statistics."""
+
+import pytest
+
+from repro.exceptions import EmptyDatabaseError, ParameterError
+from repro.timeseries.database import TransactionalDatabase
+from repro.timeseries.stats import (
+    describe_database,
+    item_frequency_series,
+)
+
+
+class TestDescribe:
+    def test_running_example(self, running_example):
+        stats = describe_database(running_example)
+        assert stats.transaction_count == 12
+        assert stats.item_count == 7
+        assert stats.start == 1
+        assert stats.end == 14
+        assert stats.max_transaction_length == 7  # ts=12: abcdefg
+        assert stats.max_gap == 2  # 7->9 and 12->14
+
+    def test_mean_values(self):
+        db = TransactionalDatabase([(1, "ab"), (3, "abcd")])
+        stats = describe_database(db)
+        assert stats.mean_transaction_length == 3.0
+        assert stats.mean_gap == 2.0
+
+    def test_single_transaction_has_zero_gaps(self):
+        stats = describe_database(TransactionalDatabase([(5, "a")]))
+        assert stats.mean_gap == 0.0
+        assert stats.max_gap == 0.0
+
+    def test_empty_database_raises(self):
+        with pytest.raises(EmptyDatabaseError):
+            describe_database(TransactionalDatabase())
+
+    def test_as_rows_keys(self, running_example):
+        rows = dict(describe_database(running_example).as_rows())
+        assert rows["transactions"] == "12"
+        assert rows["distinct items"] == "7"
+
+
+class TestFrequencySeries:
+    def test_bucketing(self):
+        db = TransactionalDatabase(
+            [(0, "a"), (1, "a"), (5, "a"), (6, "b")]
+        )
+        series = item_frequency_series(db, ["a", "b"], bucket=5)
+        assert series["a"] == {0: 2, 5: 1}
+        assert series["b"] == {5: 1}
+
+    def test_only_requested_items(self, running_example):
+        series = item_frequency_series(running_example, ["a"], bucket=7)
+        assert set(series) == {"a"}
+        # a occurs at 1,2,3,4,7 in [1,8) and 11,12,14 in [8,15).
+        assert series["a"] == {1: 5, 8: 3}
+
+    def test_empty_database(self):
+        series = item_frequency_series(TransactionalDatabase(), ["a"], 10)
+        assert series == {"a": {}}
+
+    def test_absent_item_has_empty_series(self, running_example):
+        series = item_frequency_series(running_example, ["zz"], bucket=5)
+        assert series["zz"] == {}
+
+    def test_rejects_bad_bucket(self, running_example):
+        with pytest.raises(ParameterError):
+            item_frequency_series(running_example, ["a"], bucket=0)

@@ -1,0 +1,90 @@
+"""Unit tests for time-series <-> database transformations."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.timeseries.database import TransactionalDatabase
+from repro.timeseries.events import EventSequence
+from repro.timeseries.transform import (
+    database_to_events,
+    discretize_timestamps,
+    events_to_database,
+    map_items,
+    merge_sequences,
+)
+
+
+class TestGrouping:
+    def test_events_to_database_groups_by_timestamp(self):
+        seq = EventSequence([("a", 1), ("b", 1), ("c", 2)])
+        db = events_to_database(seq)
+        assert len(db) == 2
+        assert db[0].items == frozenset("ab")
+
+    def test_round_trip(self, running_example):
+        assert events_to_database(
+            database_to_events(running_example)
+        ) == running_example
+
+    def test_empty_sequence(self):
+        assert len(events_to_database(EventSequence())) == 0
+
+
+class TestDiscretization:
+    def test_left_labels(self):
+        seq = EventSequence([("a", 0.2), ("b", 0.9), ("a", 1.4)])
+        out = discretize_timestamps(seq, bucket=1.0)
+        assert [e.ts for e in out] == [0.0, 0.0, 1.0]
+
+    def test_index_labels(self):
+        seq = EventSequence([("a", 0.2), ("b", 2.9)])
+        out = discretize_timestamps(seq, bucket=1.0, label="index")
+        assert [e.ts for e in out] == [0, 2]
+
+    def test_origin_shifts_boundaries(self):
+        seq = EventSequence([("a", 10.0)])
+        out = discretize_timestamps(seq, bucket=4.0, origin=2.0)
+        assert out[0].ts == 10.0  # bucket [10, 14) starts at 2 + 2*4
+
+    def test_negative_timestamps(self):
+        seq = EventSequence([("a", -0.5)])
+        out = discretize_timestamps(seq, bucket=1.0)
+        assert out[0].ts == -1.0
+
+    def test_rejects_bad_bucket(self):
+        with pytest.raises(ParameterError):
+            discretize_timestamps(EventSequence(), bucket=0)
+
+    def test_rejects_bad_label(self):
+        with pytest.raises(ValueError):
+            discretize_timestamps(EventSequence(), bucket=1.0, label="right")
+
+    def test_discretize_then_group(self):
+        # End-to-end: sub-minute events collapse into minute transactions.
+        seq = EventSequence(
+            [("a", 60.1), ("b", 60.7), ("a", 125.0), ("c", 125.9)]
+        )
+        db = events_to_database(
+            discretize_timestamps(seq, bucket=60.0)
+        )
+        assert len(db) == 2
+        assert db[0] == (60.0, frozenset("ab"))
+        assert db[1] == (120.0, frozenset("ac"))
+
+
+class TestHelpers:
+    def test_map_items(self):
+        seq = EventSequence([("A", 1), ("B", 2)])
+        lowered = map_items(seq, str.lower)
+        assert [e.item for e in lowered] == ["a", "b"]
+
+    def test_merge_sequences(self):
+        left = EventSequence([("a", 1), ("a", 5)])
+        right = EventSequence([("b", 3)])
+        merged = merge_sequences([left, right])
+        assert [(e.item, e.ts) for e in merged] == [
+            ("a", 1), ("b", 3), ("a", 5),
+        ]
+
+    def test_merge_empty(self):
+        assert len(merge_sequences([])) == 0
