@@ -1,0 +1,128 @@
+"""Telemetry overhead: instrumented vs uninstrumented mining.
+
+The observability layer (``repro.obs``) promises near-zero cost: spans
+are no-ops without an active collector, and with one active the only
+additions are a handful of ``perf_counter`` calls per run plus the
+counter increments the engines always did.  This bench quantifies
+that promise on the Table 5 workloads (one representative cell per
+dataset, the paper's Table 4 thresholds) and *fails* when full
+telemetry collection (``collect_stats=True``) costs more than 5% over
+a plain ``mine_recurring_patterns`` call.
+
+It also seeds the machine-readable perf trajectory: the measured runs
+are written to ``BENCH_telemetry.json`` at the repository root — one
+``repro-run/v1`` record per (dataset, mode), wrapped in the
+``repro-bench/v1`` envelope documented in ``docs/observability.md``.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.miner import mine_recurring_patterns
+from repro.obs.report import validate_run_record
+
+#: Allowed slowdown of an instrumented run (fraction of plain runtime).
+MAX_OVERHEAD = 0.05
+#: Absolute grace per run; perf_counter jitter dominates below this.
+ABSOLUTE_SLACK_SECONDS = 0.005
+#: Best-of repetitions per (dataset, mode).
+REPEATS = 7
+
+#: One representative Table 4/5 cell per dataset.
+SETTINGS = {
+    "quest": {"per": 360, "min_ps": 0.002, "min_rec": 1},
+    "shop14": {"per": 1440, "min_ps": 0.002, "min_rec": 1},
+    "twitter": {"per": 360, "min_ps": 0.02, "min_rec": 1},
+}
+
+BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_telemetry.json"
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _measure(db, params):
+    plain_seconds, plain = _best_of(
+        lambda: mine_recurring_patterns(db, **params)
+    )
+    instrumented_seconds, observed = _best_of(
+        lambda: mine_recurring_patterns(db, **params, collect_stats=True)
+    )
+    found, telemetry = observed
+    assert len(found) == len(plain)  # telemetry never changes the result
+    return plain_seconds, instrumented_seconds, telemetry
+
+
+def test_telemetry_overhead(record_artifact, request):
+    rows = []
+    runs = []
+    failures = []
+    for dataset, params in sorted(SETTINGS.items()):
+        db = request.getfixturevalue(f"{dataset}_db")
+        plain, instrumented, telemetry = _measure(db, params)
+        overhead = instrumented / plain - 1.0
+        budget = plain * (1.0 + MAX_OVERHEAD) + ABSOLUTE_SLACK_SECONDS
+        if instrumented > budget:
+            failures.append((dataset, plain, instrumented, overhead))
+        rows.append(
+            (
+                dataset,
+                f"{plain:.6f}",
+                f"{instrumented:.6f}",
+                f"{overhead * 100:+.2f}%",
+                telemetry.patterns_found,
+            )
+        )
+        telemetry.dataset = dataset
+        record = telemetry.as_run_record()
+        record["plain_seconds"] = plain
+        validate_run_record(record)
+        runs.append(record)
+
+    table = format_table(
+        [
+            "dataset",
+            "plain (s)",
+            "instrumented (s)",
+            "overhead",
+            "patterns",
+        ],
+        rows,
+        title="Telemetry overhead (best of %d)" % REPEATS,
+    )
+    record_artifact("telemetry_overhead", table)
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "schema": "repro-bench/v1",
+                "benchmark": "telemetry_overhead",
+                "created_unix": time.time(),
+                "max_overhead": MAX_OVERHEAD,
+                "runs": runs,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    assert not failures, (
+        "telemetry overhead exceeded %.0f%%: %r" % (MAX_OVERHEAD * 100, failures)
+    )
+
+
+def test_disabled_spans_are_noops():
+    """Without a collector, span() must hand back one shared object."""
+    from repro.obs.spans import span
+
+    assert span("a") is span("b")

@@ -38,6 +38,7 @@ from repro.core.rp_growth import MiningStats, RPGrowth
 from repro.core.rules import RecurringRule, SeasonalRecommender, derive_rules
 from repro.core.streaming import StreamingRecurrenceMonitor
 from repro.core.targeted import mine_patterns_containing
+from repro.obs import MiningTelemetry, SpanCollector, span
 from repro.exceptions import (
     DataFormatError,
     EmptyDatabaseError,
@@ -74,6 +75,10 @@ __all__ = [
     "StreamingRecurrenceMonitor",
     "suggest_per",
     "mine_patterns_containing",
+    # Observability
+    "MiningTelemetry",
+    "SpanCollector",
+    "span",
     # Data model
     "Event",
     "EventSequence",

@@ -14,7 +14,6 @@ Three entry points, one per artefact family:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple, Union
 
@@ -23,6 +22,8 @@ from repro.baselines.pf_growth import mine_periodic_frequent_patterns
 from repro.baselines.ppattern import mine_p_patterns
 from repro.bench.reporting import format_series, format_table
 from repro.core.miner import mine_recurring_patterns
+from repro.obs.counters import MiningStats
+from repro.obs.spans import SpanCollector, span
 from repro.timeseries.database import TransactionalDatabase
 
 __all__ = [
@@ -42,7 +43,9 @@ class GridResult:
 
     ``cells`` maps each parameter combination to the measured value —
     a pattern count for :func:`sweep_pattern_counts`, seconds for
-    :func:`sweep_runtime`.
+    :func:`sweep_runtime`.  Runtime sweeps additionally record, per
+    cell, the per-phase breakdown (transform / first scan / tree build
+    / mining spans) of the best run in ``phases``.
     """
 
     dataset: str
@@ -51,12 +54,20 @@ class GridResult:
     min_ps_values: Tuple[Union[int, float], ...]
     min_recs: Tuple[int, ...]
     cells: Dict[GridKey, float] = field(default_factory=dict)
+    phases: Dict[GridKey, Dict[str, float]] = field(default_factory=dict)
+    stats: Dict[GridKey, "MiningStats"] = field(default_factory=dict)
 
     def value(
         self, per: Number, min_ps: Union[int, float], min_rec: int
     ) -> float:
         """The measured value of one grid cell."""
         return self.cells[(per, min_ps, min_rec)]
+
+    def phase_breakdown(
+        self, per: Number, min_ps: Union[int, float], min_rec: int
+    ) -> Dict[str, float]:
+        """Seconds per phase of one cell's best run (runtime sweeps)."""
+        return dict(self.phases.get((per, min_ps, min_rec), {}))
 
     def as_table(self) -> str:
         """Render in the layout of Tables 5/7: one row per minPS, one
@@ -107,7 +118,12 @@ def sweep_pattern_counts(
     min_recs: Sequence[int],
     engine: str = "rp-growth",
 ) -> GridResult:
-    """Count recurring patterns over the full parameter grid (Table 5)."""
+    """Count recurring patterns over the full parameter grid (Table 5).
+
+    Each cell's engine counters are kept in ``result.stats`` so the
+    ablation benches and ``repro-mine bench --trace-out`` can report
+    pruning effectiveness without re-mining.
+    """
     result = GridResult(
         dataset=dataset,
         metric="count",
@@ -118,10 +134,13 @@ def sweep_pattern_counts(
     for per in pers:
         for min_ps in min_ps_values:
             for min_rec in min_recs:
-                found = mine_recurring_patterns(
-                    database, per, min_ps, min_rec, engine=engine
+                found, telemetry = mine_recurring_patterns(
+                    database, per, min_ps, min_rec, engine=engine,
+                    collect_stats=True,
                 )
-                result.cells[(per, min_ps, min_rec)] = float(len(found))
+                key = (per, min_ps, min_rec)
+                result.cells[key] = float(len(found))
+                result.stats[key] = telemetry.stats
     return result
 
 
@@ -137,7 +156,9 @@ def sweep_runtime(
     """Measure mining wall-clock over the parameter grid (Table 7).
 
     The best of ``repeats`` runs is recorded, as is conventional for
-    runtime tables.
+    runtime tables.  Timing is span-based (:mod:`repro.obs.spans`), so
+    every cell also carries the phase breakdown of its best run —
+    see :meth:`GridResult.phase_breakdown`.
     """
     result = GridResult(
         dataset=dataset,
@@ -150,13 +171,23 @@ def sweep_runtime(
         for min_ps in min_ps_values:
             for min_rec in min_recs:
                 best = float("inf")
+                best_phases: Dict[str, float] = {}
                 for _ in range(max(1, repeats)):
-                    started = time.perf_counter()
-                    mine_recurring_patterns(
-                        database, per, min_ps, min_rec, engine=engine
-                    )
-                    best = min(best, time.perf_counter() - started)
-                result.cells[(per, min_ps, min_rec)] = best
+                    collector = SpanCollector()
+                    with collector, span("run"):
+                        mine_recurring_patterns(
+                            database, per, min_ps, min_rec, engine=engine
+                        )
+                    run = collector.roots[0]
+                    if run.seconds < best:
+                        best = run.seconds
+                        best_phases = {
+                            child.name: child.seconds
+                            for child in run.children
+                        }
+                key = (per, min_ps, min_rec)
+                result.cells[key] = best
+                result.phases[key] = best_phases
     return result
 
 

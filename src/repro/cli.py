@@ -18,6 +18,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional, Sequence
 
@@ -49,6 +50,39 @@ _WORKLOADS = {
     "clickstream": clickstream_workload,
     "twitter": twitter_workload,
 }
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _add_logging_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level",
+        choices=_LOG_LEVELS,
+        default=None,
+        help="enable stdlib logging at this level (stderr)",
+    )
+
+
+def _add_profiling_flags(
+    parser: argparse.ArgumentParser, memory: bool = True
+) -> None:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a phase-timing and counter table to stderr",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a JSON-lines trace (spans + repro-run/v1 record)",
+    )
+    if memory:
+        parser.add_argument(
+            "--track-memory",
+            action="store_true",
+            help="also sample peak memory per phase (tracemalloc; slower)",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -223,6 +257,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-dis", type=int, default=10, help="async-periodic max disturbance"
     )
     baseline.add_argument("--top", type=int, default=20)
+
+    for sub in (mine, generate, stats, bench, compare, rules, baseline):
+        _add_logging_flag(sub)
+    _add_profiling_flags(mine)
+    _add_profiling_flags(baseline)
+    _add_profiling_flags(bench, memory=False)
     return parser
 
 
@@ -230,6 +270,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "log_level", None):
+        logging.basicConfig(
+            level=getattr(logging, args.log_level.upper()),
+            stream=sys.stderr,
+            format="%(levelname)s %(name)s: %(message)s",
+        )
     try:
         if args.command == "mine":
             return _cmd_mine(args)
@@ -256,16 +302,50 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 # ----------------------------------------------------------------------
 def _cmd_mine(args: argparse.Namespace) -> int:
     database = _load(args.input, args.format)
+    profiling = args.profile or args.trace_out or args.track_memory
+    telemetry = None
     if args.max_faults:
         from repro.core.noise import mine_noise_tolerant_patterns
 
-        found = mine_noise_tolerant_patterns(
+        def run_noise_miner():
+            return mine_noise_tolerant_patterns(
+                database,
+                per=args.per,
+                min_ps=args.min_ps,
+                min_rec=args.min_rec,
+                fault_per=args.fault_per,
+                max_faults=args.max_faults,
+            )
+
+        if profiling:
+            from repro.obs import TraceWriter, profile_call
+
+            found, telemetry = profile_call(
+                run_noise_miner,
+                engine="noise-tolerant",
+                params={
+                    "per": args.per,
+                    "min_ps": args.min_ps,
+                    "min_rec": args.min_rec,
+                    "max_faults": args.max_faults,
+                },
+                track_memory=args.track_memory,
+            )
+            if args.trace_out:
+                with TraceWriter(args.trace_out) as writer:
+                    writer.write_run(telemetry)
+        else:
+            found = run_noise_miner()
+    elif profiling:
+        found, telemetry = mine_recurring_patterns(
             database,
             per=args.per,
             min_ps=args.min_ps,
             min_rec=args.min_rec,
-            fault_per=args.fault_per,
-            max_faults=args.max_faults,
+            engine=args.engine,
+            collect_stats=True,
+            trace=args.trace_out,
+            track_memory=args.track_memory,
         )
     else:
         found = mine_recurring_patterns(
@@ -275,6 +355,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             min_rec=args.min_rec,
             engine=args.engine,
         )
+    if telemetry is not None:
+        telemetry.log(level=logging.DEBUG)
+        if args.profile:
+            print(telemetry.summary_table(), file=sys.stderr)
     if args.closed:
         from repro.core.condensed import closed_patterns
 
@@ -316,6 +400,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             args.report, database, found,
             per=args.per, min_ps=args.min_ps, min_rec=args.min_rec,
             engine=args.engine,
+            stats=telemetry.stats if telemetry is not None else None,
         )
         print(f"report written to {args.report}")
     if args.save_patterns:
@@ -355,28 +440,49 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
     )
 
     database = _load(args.input, args.format)
-    if args.model == "frequent":
-        results = list(mine_frequent_patterns(database, args.min_sup))
-    elif args.model == "periodic-frequent":
-        results = list(
-            mine_periodic_frequent_patterns(database, args.min_sup, args.per)
-        )
-    elif args.model == "p-pattern":
-        mode = "tolerance" if args.window else "threshold"
-        results = list(
-            mine_p_patterns(
-                database, args.per, args.min_sup,
-                window=args.window, mode=mode,
+
+    def run_baseline():
+        if args.model == "frequent":
+            return list(mine_frequent_patterns(database, args.min_sup))
+        if args.model == "periodic-frequent":
+            return list(
+                mine_periodic_frequent_patterns(
+                    database, args.min_sup, args.per
+                )
             )
-        )
-    elif args.model == "partial-periodic":
-        results = mine_partial_periodic_patterns(
-            database, int(args.per), args.min_sup
-        )
-    else:
-        results = mine_async_periodic_patterns(
+        if args.model == "p-pattern":
+            mode = "tolerance" if args.window else "threshold"
+            return list(
+                mine_p_patterns(
+                    database, args.per, args.min_sup,
+                    window=args.window, mode=mode,
+                )
+            )
+        if args.model == "partial-periodic":
+            return mine_partial_periodic_patterns(
+                database, int(args.per), args.min_sup
+            )
+        return mine_async_periodic_patterns(
             database, int(args.per), args.min_rep, args.max_dis
         )
+
+    if args.profile or args.trace_out or args.track_memory:
+        from repro.obs import TraceWriter, profile_call
+
+        results, telemetry = profile_call(
+            run_baseline,
+            engine=f"baseline/{args.model}",
+            params={"per": args.per, "min_sup": args.min_sup},
+            track_memory=args.track_memory,
+        )
+        telemetry.log(level=logging.DEBUG)
+        if args.trace_out:
+            with TraceWriter(args.trace_out) as writer:
+                writer.write_run(telemetry)
+        if args.profile:
+            print(telemetry.summary_table(), file=sys.stderr)
+    else:
+        results = run_baseline()
     print(f"{len(results)} {args.model} patterns")
     for pattern in results[: args.top]:
         print(f"  {pattern}")
@@ -411,7 +517,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         engine=args.engine,
     )
     print(counts.as_table())
-    if args.runtime:
+    # A trace or profile needs per-cell timings, so those imply the
+    # runtime sweep.
+    runtime = None
+    if args.runtime or args.profile or args.trace_out:
         runtime = sweep_runtime(
             database,
             args.dataset,
@@ -422,6 +531,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         print()
         print(runtime.as_table())
+    if args.trace_out and runtime is not None:
+        from repro.obs import RUN_SCHEMA, TraceWriter
+
+        with TraceWriter(args.trace_out) as writer:
+            for key in runtime.cells:
+                per, min_ps, min_rec = key
+                phases = runtime.phase_breakdown(per, min_ps, min_rec)
+                writer.write_record({
+                    "schema": RUN_SCHEMA,
+                    "kind": "run",
+                    "engine": args.engine,
+                    "dataset": args.dataset,
+                    "params": {
+                        "per": per, "min_ps": min_ps, "min_rec": min_rec,
+                    },
+                    "patterns_found": int(counts.value(*key)),
+                    "seconds": runtime.value(*key),
+                    "counters": counts.stats[key].as_dict(),
+                    "spans": [
+                        {"name": name, "seconds": seconds}
+                        for name, seconds in phases.items()
+                    ],
+                })
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if args.profile and runtime is not None:
+        totals: dict = {}
+        for key in runtime.cells:
+            for name, seconds in runtime.phase_breakdown(*key).items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        rows = [[name, f"{seconds:.6f}"] for name, seconds in totals.items()]
+        rows.append(["total", f"{sum(totals.values()):.6f}"])
+        print(
+            format_table(
+                ["phase", "seconds"], rows,
+                title=f"{args.dataset}: phase totals over the grid",
+            ),
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -24,7 +24,8 @@ from repro.core.model import (
     RecurringPattern,
     RecurringPatternSet,
 )
-from repro.core.rp_growth import MiningStats
+from repro.obs.counters import MiningStats
+from repro.obs.spans import span
 from repro.timeseries.database import TransactionalDatabase
 from repro.timeseries.events import Item
 
@@ -129,18 +130,20 @@ class FastRPEclat:
         params = self.params.resolve(len(database))
         per, min_ps, min_rec = params.per, params.min_ps, params.min_rec
 
-        item_ts = {
-            item: np.asarray(ts)
-            for item, ts in database.item_timestamps().items()
-        }
-        candidates: List[Tuple[Item, np.ndarray]] = []
-        for item in sorted(item_ts, key=repr):
-            ts = item_ts[item]
-            stats.erec_evaluations += 1
-            if estimated_recurrence_np(ts, per, min_ps) >= min_rec:
-                candidates.append((item, ts))
-            else:
-                stats.pruned_items += 1
+        with span("first_scan"):
+            item_ts = {
+                item: np.asarray(ts)
+                for item, ts in database.item_timestamps().items()
+            }
+            candidates: List[Tuple[Item, np.ndarray]] = []
+            for item in sorted(item_ts, key=repr):
+                ts = item_ts[item]
+                stats.erec_evaluations += 1
+                if estimated_recurrence_np(ts, per, min_ps) >= min_rec:
+                    candidates.append((item, ts))
+                    stats.tid_list_entries += int(ts.size)
+                else:
+                    stats.pruned_items += 1
         stats.candidate_items = len(candidates)
         candidates.sort(key=lambda pair: (pair[1].size, repr(pair[0])))
 
@@ -164,9 +167,11 @@ class FastRPEclat:
             for index, (item, ts) in enumerate(extensions):
                 new_ts = np.intersect1d(prefix_ts, ts, assume_unique=True)
                 stats.erec_evaluations += 1
+                stats.tid_list_entries += int(new_ts.size)
                 if estimated_recurrence_np(new_ts, per, min_ps) >= min_rec:
                     grow(prefix + (item,), new_ts, extensions[index + 1:])
 
-        for index, (item, ts) in enumerate(candidates):
-            grow((item,), ts, candidates[index + 1:])
+        with span("mine"):
+            for index, (item, ts) in enumerate(candidates):
+                grow((item,), ts, candidates[index + 1:])
         return RecurringPatternSet(found)

@@ -6,11 +6,18 @@ need: it accepts either a :class:`~repro.timeseries.events.EventSequence`
 first) or a :class:`~repro.timeseries.database.TransactionalDatabase`,
 picks an engine and returns a
 :class:`~repro.core.model.RecurringPatternSet`.
+
+With ``collect_stats=True`` (and friends) the call is additionally
+observed through :mod:`repro.obs`: phase spans (transform, first scan,
+tree build, mining), the engine's shared counters, optional
+``tracemalloc`` peak memory and an optional JSON-lines trace file —
+without changing the mined result in any way.
 """
 
 from __future__ import annotations
 
-from typing import Union
+import time
+from typing import IO, Optional, Tuple, Union
 
 from repro._validation import Number
 from repro.core.model import RecurringPatternSet
@@ -18,6 +25,9 @@ from repro.core.naive import mine_recurring_patterns_naive
 from repro.core.rp_eclat import RPEclat
 from repro.core.rp_growth import RPGrowth
 from repro.exceptions import ParameterError
+from repro.obs.counters import MiningStats
+from repro.obs.report import MiningTelemetry, TraceWriter
+from repro.obs.spans import SpanCollector, span
 from repro.timeseries.database import TransactionalDatabase
 from repro.timeseries.events import EventSequence
 
@@ -34,7 +44,14 @@ def mine_recurring_patterns(
     min_ps: Union[int, float],
     min_rec: int = 1,
     engine: str = "rp-growth",
-) -> RecurringPatternSet:
+    *,
+    collect_stats: bool = False,
+    trace: Union[str, IO[str], None] = None,
+    track_memory: bool = False,
+    dataset: Optional[str] = None,
+) -> Union[
+    RecurringPatternSet, Tuple[RecurringPatternSet, MiningTelemetry]
+]:
     """Discover all recurring patterns in a time series or database.
 
     Parameters
@@ -59,12 +76,28 @@ def mine_recurring_patterns(
         (vertical cross-check engine), ``"rp-eclat-np"`` (vectorised
         vertical engine) or ``"naive"`` (exhaustive; small inputs
         only).
+    collect_stats:
+        Also return a :class:`~repro.obs.report.MiningTelemetry` —
+        phase spans, the engine's counters, total wall-clock — as the
+        second element of a tuple.  The pattern set is identical to an
+        unobserved run.
+    trace:
+        Path (or open text handle) to write a JSON-lines trace to:
+        one record per span plus a final ``repro-run/v1`` run record.
+        Implies telemetry collection; the return value is only a tuple
+        when ``collect_stats`` is also true.
+    track_memory:
+        Sample per-span peak memory via ``tracemalloc`` (slower; only
+        meaningful together with ``collect_stats`` or ``trace``).
+    dataset:
+        Optional dataset label carried into the telemetry/trace.
 
     Returns
     -------
-    RecurringPatternSet
+    RecurringPatternSet or (RecurringPatternSet, MiningTelemetry)
         Every pattern satisfying Definition 9, each carrying its
-        support, recurrence and interesting periodic-intervals.
+        support, recurrence and interesting periodic-intervals; plus
+        the run telemetry when ``collect_stats`` is true.
 
     Examples
     --------
@@ -73,21 +106,74 @@ def mine_recurring_patterns(
     ...     paper_running_example(), per=2, min_ps=3, min_rec=2)
     >>> print(found.pattern("ab"))
     ab [support=7, recurrence=2, {[1, 4]:3, [11, 14]:3}]
+    >>> found, telemetry = mine_recurring_patterns(
+    ...     paper_running_example(), per=2, min_ps=3, min_rec=2,
+    ...     collect_stats=True)
+    >>> telemetry.stats.patterns_found
+    8
     """
-    database = _as_database(data)
+    if engine not in ENGINES:
+        raise ParameterError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    if not (collect_stats or trace is not None):
+        with span("transform"):
+            database = _as_database(data)
+        result, _ = _run_engine(database, per, min_ps, min_rec, engine)
+        return result
+
+    collector = SpanCollector(track_memory=track_memory)
+    started = time.perf_counter()
+    with collector:
+        with span("transform"):
+            database = _as_database(data)
+        result, stats = _run_engine(database, per, min_ps, min_rec, engine)
+    seconds = time.perf_counter() - started
+    telemetry = MiningTelemetry(
+        engine=engine,
+        params={"per": per, "min_ps": min_ps, "min_rec": min_rec},
+        stats=stats,
+        spans=collector.spans,
+        patterns_found=len(result),
+        seconds=seconds,
+        memory_peak_bytes=collector.memory_peak_bytes,
+        dataset=dataset,
+    )
+    if trace is not None:
+        with TraceWriter(trace) as writer:
+            writer.write_run(telemetry)
+    if collect_stats:
+        return result, telemetry
+    return result
+
+
+def _run_engine(
+    database: TransactionalDatabase,
+    per: Number,
+    min_ps: Union[int, float],
+    min_rec: int,
+    engine: str,
+) -> Tuple[RecurringPatternSet, MiningStats]:
+    """Dispatch to an engine, returning the result and its counters."""
     if engine == "rp-growth":
-        return RPGrowth(per, min_ps, min_rec).mine(database)
+        miner = RPGrowth(per, min_ps, min_rec)
+        result = miner.mine(database)
+        return result, miner.last_stats or MiningStats()
     if engine == "rp-eclat":
-        return RPEclat(per, min_ps, min_rec).mine(database)
+        miner = RPEclat(per, min_ps, min_rec)
+        result = miner.mine(database)
+        return result, miner.last_stats or MiningStats()
     if engine == "rp-eclat-np":
         from repro.core.accel import FastRPEclat
 
-        return FastRPEclat(per, min_ps, min_rec).mine(database)
-    if engine == "naive":
-        return mine_recurring_patterns_naive(database, per, min_ps, min_rec)
-    raise ParameterError(
-        f"unknown engine {engine!r}; expected one of {ENGINES}"
+        miner = FastRPEclat(per, min_ps, min_rec)
+        result = miner.mine(database)
+        return result, miner.last_stats or MiningStats()
+    stats = MiningStats()
+    result = mine_recurring_patterns_naive(
+        database, per, min_ps, min_rec, stats=stats
     )
+    return result, stats
 
 
 def _as_database(data: Source) -> TransactionalDatabase:

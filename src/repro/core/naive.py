@@ -13,7 +13,7 @@ production mining.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, FrozenSet, List, Set, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from repro._validation import Number
 from repro.core.model import (
@@ -23,6 +23,8 @@ from repro.core.model import (
 )
 from repro.core.rp_eclat import intersect_sorted
 from repro.exceptions import SearchSpaceError
+from repro.obs.counters import MiningStats
+from repro.obs.spans import span
 from repro.timeseries.database import TransactionalDatabase
 from repro.timeseries.events import Item
 
@@ -37,6 +39,7 @@ def mine_recurring_patterns_naive(
     min_ps: Union[int, float],
     min_rec: int,
     max_items: int = DEFAULT_MAX_ITEMS,
+    stats: Optional[MiningStats] = None,
 ) -> RecurringPatternSet:
     """Mine recurring patterns by brute force (for verification).
 
@@ -48,8 +51,14 @@ def mine_recurring_patterns_naive(
     Only itemsets that are a subset of at least one transaction are
     enumerated — any other itemset has an empty point sequence and
     cannot be recurring — but *no* other pruning is applied.
+
+    When ``stats`` is given it is populated with the shared counters:
+    since this miner never prunes, every enumerated itemset counts as a
+    candidate pattern and gets an exact recurrence evaluation, and
+    ``erec_evaluations`` stays 0.
     """
     params = MiningParameters(per=per, min_ps=min_ps, min_rec=min_rec)
+    counters = stats if stats is not None else MiningStats()
     if len(database) == 0:
         return RecurringPatternSet()
     resolved = params.resolve(len(database))
@@ -60,21 +69,28 @@ def mine_recurring_patterns_naive(
             f"naive miner refuses {len(items)} items (limit {max_items}); "
             "use RPGrowth or RPEclat for real mining"
         )
+    counters.candidate_items = len(items)
 
-    occurring = _occurring_itemsets(database)
-    item_ts = database.item_timestamps()
+    with span("first_scan"):
+        occurring = _occurring_itemsets(database)
+        item_ts = database.item_timestamps()
 
     found: List[RecurringPattern] = []
-    for itemset in occurring:
-        ts_lists = sorted(
-            (item_ts[item] for item in itemset), key=len
-        )
-        timestamps = list(ts_lists[0])
-        for other in ts_lists[1:]:
-            timestamps = intersect_sorted(timestamps, other)
-        pattern = resolved.pattern_from_timestamps(itemset, timestamps)
-        if pattern is not None:
-            found.append(pattern)
+    with span("mine"):
+        for itemset in occurring:
+            ts_lists = sorted(
+                (item_ts[item] for item in itemset), key=len
+            )
+            timestamps = list(ts_lists[0])
+            for other in ts_lists[1:]:
+                timestamps = intersect_sorted(timestamps, other)
+            counters.candidate_patterns += 1
+            counters.recurrence_evaluations += 1
+            counters.tid_list_entries += len(timestamps)
+            pattern = resolved.pattern_from_timestamps(itemset, timestamps)
+            if pattern is not None:
+                counters.patterns_found += 1
+                found.append(pattern)
     return RecurringPatternSet(found)
 
 

@@ -30,7 +30,8 @@ from repro.core.model import (
     RecurringPatternSet,
     ResolvedParameters,
 )
-from repro.core.rp_growth import MiningStats
+from repro.obs.counters import MiningStats
+from repro.obs.spans import span
 from repro.timeseries.database import TransactionalDatabase
 from repro.timeseries.events import Item
 
@@ -106,24 +107,28 @@ class RPEclat:
             return RecurringPatternSet()
         params = self.params.resolve(len(database))
 
-        item_ts = database.item_timestamps()
-        candidates: List[Tuple[Item, Tuple[float, ...]]] = []
-        for item in sorted(item_ts, key=repr):
-            ts_list = item_ts[item]
-            stats.erec_evaluations += 1
-            if self._passes_bound(ts_list, params, stats):
-                candidates.append((item, ts_list))
-            else:
-                stats.pruned_items += 1
+        with span("first_scan"):
+            item_ts = database.item_timestamps()
+            candidates: List[Tuple[Item, Tuple[float, ...]]] = []
+            for item in sorted(item_ts, key=repr):
+                ts_list = item_ts[item]
+                stats.erec_evaluations += 1
+                if self._passes_bound(ts_list, params, stats):
+                    candidates.append((item, ts_list))
+                    stats.tid_list_entries += len(ts_list)
+                else:
+                    stats.pruned_items += 1
         stats.candidate_items = len(candidates)
         # Rarest-first extension order keeps intermediate ts-lists short.
         candidates.sort(key=lambda pair: (len(pair[1]), repr(pair[0])))
 
         found: List[RecurringPattern] = []
-        for index, (item, ts_list) in enumerate(candidates):
-            self._grow(
-                (item,), ts_list, candidates[index + 1:], params, found, stats
-            )
+        with span("mine"):
+            for index, (item, ts_list) in enumerate(candidates):
+                self._grow(
+                    (item,), ts_list, candidates[index + 1:],
+                    params, found, stats,
+                )
         return RecurringPatternSet(found)
 
     # ------------------------------------------------------------------
@@ -149,6 +154,7 @@ class RPEclat:
         for index, (item, item_ts) in enumerate(extensions):
             new_ts = intersect_sorted(prefix_ts, item_ts)
             stats.erec_evaluations += 1
+            stats.tid_list_entries += len(new_ts)
             if not self._passes_bound(new_ts, params, stats):
                 continue
             self._grow(

@@ -15,7 +15,6 @@ header item sees complete occurrence information.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro._validation import Number
@@ -28,46 +27,14 @@ from repro.core.model import (
 )
 from repro.core.rp_list import RPList, build_rp_list
 from repro.core.rp_tree import RPTree, build_rp_tree
+from repro.obs.counters import MiningStats
+from repro.obs.spans import span
 from repro.timeseries.database import TransactionalDatabase
 from repro.timeseries.events import Item
 
+# ``MiningStats`` lived here historically; it is re-exported for the
+# many callers that import it from this module.
 __all__ = ["MiningStats", "RPGrowth"]
-
-
-@dataclass
-class MiningStats:
-    """Counters describing one mining run (used by the ablation benches).
-
-    Attributes
-    ----------
-    candidate_items:
-        Candidate 1-patterns surviving the RP-list scan.
-    pruned_items:
-        Items removed by the ``Erec`` test during the first scan.
-    initial_tree_nodes:
-        Item nodes in the freshly built RP-tree (Lemma 2's quantity).
-    erec_evaluations:
-        How many patterns had their ``Erec`` bound computed.
-    candidate_patterns:
-        How many of those passed (``Erec ≥ minRec``) and were therefore
-        expanded.
-    recurrence_evaluations:
-        How many exact ``getRecurrence`` computations ran (one per
-        candidate pattern).
-    patterns_found:
-        Recurring patterns reported.
-    conditional_trees:
-        Conditional trees constructed.
-    """
-
-    candidate_items: int = 0
-    pruned_items: int = 0
-    initial_tree_nodes: int = 0
-    erec_evaluations: int = 0
-    candidate_patterns: int = 0
-    recurrence_evaluations: int = 0
-    patterns_found: int = 0
-    conditional_trees: int = 0
 
 
 class RPGrowth:
@@ -114,17 +81,20 @@ class RPGrowth:
         if len(database) == 0:
             return RecurringPatternSet()
         params = self.params.resolve(len(database))
-        rp_list = build_rp_list(database, params)
+        with span("first_scan"):
+            rp_list = build_rp_list(database, params)
         stats.candidate_items = len(rp_list.candidates)
         stats.pruned_items = len(rp_list.entries) - len(rp_list.candidates)
         if not rp_list.candidates:
             return RecurringPatternSet()
-        tree, _ = build_rp_tree(
-            database, params, rp_list, item_order=self.item_order
-        )
+        with span("tree_build"):
+            tree, _ = build_rp_tree(
+                database, params, rp_list, item_order=self.item_order
+            )
         stats.initial_tree_nodes = tree.node_count()
         found: List[RecurringPattern] = []
-        self._mine_tree(tree, (), params, found, stats)
+        with span("mine"):
+            self._mine_tree(tree, (), params, found, stats)
         return RecurringPatternSet(found)
 
     # ------------------------------------------------------------------

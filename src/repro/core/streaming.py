@@ -28,6 +28,8 @@ from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro._validation import Number, check_count, check_positive
 from repro.core.model import PeriodicInterval
+from repro.obs.counters import MiningStats
+from repro.obs.spans import span
 from repro.timeseries.database import TransactionalDatabase
 from repro.timeseries.events import Item
 
@@ -93,6 +95,13 @@ class StreamingRecurrenceMonitor:
         self._states: Dict[Item, ItemState] = {}
         self._patterns: Dict[Item, FrozenSet[Item]] = {}
         self._last_ts: Optional[float] = None
+        #: Shared counters (:mod:`repro.obs.counters`), mapped to the
+        #: streaming setting: ``candidate_items`` = distinct tracked
+        #: items/composites, ``erec_evaluations`` = run closures (each
+        #: updates the streaming Erec), ``recurrence_evaluations`` =
+        #: interesting intervals closed, ``patterns_found`` = items
+        #: that have crossed ``min_rec``.
+        self.stats = MiningStats()
 
     # ------------------------------------------------------------------
     # Feeding
@@ -126,8 +135,9 @@ class StreamingRecurrenceMonitor:
 
     def observe_database(self, database: TransactionalDatabase) -> None:
         """Feed a whole (timestamp-ordered) database."""
-        for ts, itemset in database:
-            self.observe(ts, itemset)
+        with span("stream_replay"):
+            for ts, itemset in database:
+                self.observe(ts, itemset)
 
     # ------------------------------------------------------------------
     # Queries
@@ -202,6 +212,7 @@ class StreamingRecurrenceMonitor:
         if state is None:
             state = ItemState()
             self._states[item] = state
+            self.stats.candidate_items += 1
         if state.support == 0:
             state.run_start = ts
             state.current_ps = 1
@@ -216,10 +227,14 @@ class StreamingRecurrenceMonitor:
 
     def _close_run(self, item: Item, state: ItemState) -> None:
         state.erec += state.current_ps // self.min_ps
+        self.stats.erec_evaluations += 1
         if state.current_ps >= self.min_ps:
             interval = PeriodicInterval(
                 state.run_start, state.last_ts, state.current_ps
             )
             state.intervals.append(interval)
+            self.stats.recurrence_evaluations += 1
+            if len(state.intervals) == self.min_rec:
+                self.stats.patterns_found += 1
             if self.on_interval is not None:
                 self.on_interval(item, interval)

@@ -1,0 +1,47 @@
+"""repro.obs — the observability layer.
+
+Cross-cutting measurement for every mining path:
+
+* :mod:`repro.obs.spans` — nested wall-clock spans, near-zero cost
+  when no collector is active;
+* :mod:`repro.obs.counters` — the shared :class:`MiningStats` counter
+  protocol all engines populate;
+* :mod:`repro.obs.memory` — opt-in ``tracemalloc`` peak sampling;
+* :mod:`repro.obs.report` — sinks: summary tables, stdlib logging and
+  JSON-lines traces whose run records follow the documented
+  ``repro-run/v1`` schema.
+
+Most users never touch this package directly — they pass
+``collect_stats=True`` (and friends) to
+:func:`repro.mine_recurring_patterns`, or ``--profile`` /
+``--trace-out`` to the CLI — but the pieces are public and composable.
+"""
+
+from repro.obs.counters import MiningStats, StatsSource
+from repro.obs.memory import MemoryTracker, peak_memory
+from repro.obs.report import (
+    RUN_SCHEMA,
+    MiningTelemetry,
+    TraceWriter,
+    profile_call,
+    read_trace,
+    validate_run_record,
+)
+from repro.obs.spans import Span, SpanCollector, current_collector, span
+
+__all__ = [
+    "MiningStats",
+    "StatsSource",
+    "MemoryTracker",
+    "peak_memory",
+    "RUN_SCHEMA",
+    "MiningTelemetry",
+    "TraceWriter",
+    "profile_call",
+    "read_trace",
+    "validate_run_record",
+    "Span",
+    "SpanCollector",
+    "current_collector",
+    "span",
+]

@@ -1,0 +1,93 @@
+"""Opt-in peak-memory sampling built on :mod:`tracemalloc`.
+
+``tracemalloc`` is stdlib, deterministic and portable, which makes it
+the right default for reproducible memory numbers (the paper's Table 6
+reports peak memory per run); its cost — every allocation is traced —
+is why memory tracking is opt-in everywhere in :mod:`repro.obs`.
+
+:class:`MemoryTracker` owns the start/stop lifecycle (it will not stop
+a trace it did not start, so it composes with an outer profiler) and
+exposes the two operations the span layer needs: the current traced
+peak and a peak reset, which is how per-span windows are carved out of
+tracemalloc's single global peak counter.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import Tuple
+
+__all__ = ["MemoryTracker", "peak_memory"]
+
+
+class MemoryTracker:
+    """Scoped access to ``tracemalloc`` peak measurements.
+
+    Examples
+    --------
+    >>> tracker = MemoryTracker()
+    >>> tracker.start()
+    >>> blob = bytearray(256 * 1024)
+    >>> tracker.peak() >= 256 * 1024
+    True
+    >>> tracker.stop()
+    """
+
+    def __init__(self) -> None:
+        self._started_here = False
+
+    def start(self) -> None:
+        """Begin tracing (a no-op when tracing is already on)."""
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_here = True
+        tracemalloc.reset_peak()
+
+    def stop(self) -> None:
+        """Stop tracing, but only if this tracker started it."""
+        if self._started_here:
+            tracemalloc.stop()
+            self._started_here = False
+
+    @staticmethod
+    def sample() -> Tuple[int, int]:
+        """``(current, peak)`` traced bytes since the last reset."""
+        return tracemalloc.get_traced_memory()
+
+    @staticmethod
+    def peak() -> int:
+        """Peak traced bytes since tracing started or the last reset."""
+        return tracemalloc.get_traced_memory()[1]
+
+    @staticmethod
+    def reset_peak() -> None:
+        """Restart the peak window at the current usage."""
+        tracemalloc.reset_peak()
+
+
+class peak_memory:
+    """Context manager measuring the peak allocation of a block.
+
+    The measured peak (bytes) is available as ``.bytes`` after exit.
+
+    Examples
+    --------
+    >>> with peak_memory() as measured:
+    ...     blob = bytearray(512 * 1024)
+    >>> measured.bytes >= 512 * 1024
+    True
+    """
+
+    def __init__(self) -> None:
+        self.bytes = 0
+        self._tracker = MemoryTracker()
+
+    def __enter__(self) -> "peak_memory":
+        self._tracker.start()
+        self._tracker.reset_peak()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.bytes = self._tracker.peak()
+        self._tracker.stop()
+        return False

@@ -1,0 +1,322 @@
+"""Run telemetry and its sinks: summary table, logging, JSON-lines.
+
+:class:`MiningTelemetry` bundles everything one mining run measured —
+engine, parameters, the shared :class:`~repro.obs.counters.MiningStats`
+counters, the span tree and (optionally) peak memory.  Three sinks
+consume it:
+
+* :meth:`MiningTelemetry.summary_table` — the human-readable phase
+  table the CLI prints with ``--profile``;
+* :meth:`MiningTelemetry.log` — one stdlib-``logging`` record per
+  phase plus a run summary;
+* :class:`TraceWriter` — a JSON-lines trace file: one ``span`` record
+  per span (depth-first) and a final ``run`` record.
+
+The ``run`` record is the repo's machine-readable benchmark currency:
+``BENCH_*.json`` files embed exactly these records (schema
+``repro-run/v1``, validated by :func:`validate_run_record`; see
+``docs/observability.md`` for the field-by-field contract).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from dataclasses import dataclass, field
+from typing import (
+    IO,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.obs.counters import MiningStats
+from repro.obs.spans import Span, SpanCollector, span
+
+__all__ = [
+    "RUN_SCHEMA",
+    "MiningTelemetry",
+    "TraceWriter",
+    "profile_call",
+    "read_trace",
+    "validate_run_record",
+]
+
+logger = logging.getLogger("repro.obs")
+
+#: Schema tag carried by every run record.
+RUN_SCHEMA = "repro-run/v1"
+
+#: Keys every ``repro-run/v1`` record must carry, with their types.
+_RUN_REQUIRED: Tuple[Tuple[str, type], ...] = (
+    ("schema", str),
+    ("kind", str),
+    ("engine", str),
+    ("params", dict),
+    ("patterns_found", int),
+    ("seconds", float),
+    ("counters", dict),
+    ("spans", list),
+)
+
+
+@dataclass
+class MiningTelemetry:
+    """Everything measured about one mining run."""
+
+    engine: str
+    params: Dict[str, object]
+    stats: MiningStats
+    spans: Tuple[Span, ...]
+    patterns_found: int
+    seconds: float
+    memory_peak_bytes: Optional[int] = None
+    dataset: Optional[str] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    # -- derived views -------------------------------------------------
+    def phase_seconds(self) -> Dict[str, float]:
+        """Summed seconds per span name, in first-seen order."""
+        totals: Dict[str, float] = {}
+        for root in self.spans:
+            for _, item in root.walk():
+                totals[item.name] = totals.get(item.name, 0.0) + item.seconds
+        return totals
+
+    def as_run_record(self) -> Dict[str, object]:
+        """The ``repro-run/v1`` record (see docs/observability.md)."""
+        record: Dict[str, object] = {
+            "schema": RUN_SCHEMA,
+            "kind": "run",
+            "engine": self.engine,
+            "params": dict(self.params),
+            "patterns_found": self.patterns_found,
+            "seconds": self.seconds,
+            "counters": self.stats.as_dict(),
+            "spans": [root.as_dict() for root in self.spans],
+        }
+        if self.memory_peak_bytes is not None:
+            record["memory_peak_bytes"] = self.memory_peak_bytes
+        if self.dataset is not None:
+            record["dataset"] = self.dataset
+        record.update(self.extra)
+        return record
+
+    # -- sinks ---------------------------------------------------------
+    def summary_table(self) -> str:
+        """Phase timings and counters as a fixed-width table."""
+        from repro.bench.reporting import format_table  # avoid cycle
+
+        rows: List[List[object]] = []
+        for root in self.spans:
+            for depth, item in root.walk():
+                memory = (
+                    _format_bytes(item.memory_peak_bytes)
+                    if item.memory_peak_bytes is not None
+                    else ""
+                )
+                rows.append(
+                    ["  " * depth + item.name, f"{item.seconds:.6f}", memory]
+                )
+        rows.append(["total", f"{self.seconds:.6f}",
+                     _format_bytes(self.memory_peak_bytes)
+                     if self.memory_peak_bytes is not None else ""])
+        phase_table = format_table(
+            ["phase", "seconds", "peak mem"],
+            rows,
+            title=f"{self.engine}: {self.patterns_found} patterns",
+        )
+        counter_rows = [
+            [name, value]
+            for name, value in self.stats.as_dict().items()
+        ]
+        counter_table = format_table(["counter", "value"], counter_rows)
+        return phase_table + "\n\n" + counter_table
+
+    def log(
+        self,
+        target: Optional[logging.Logger] = None,
+        level: int = logging.INFO,
+    ) -> None:
+        """Emit the telemetry through stdlib logging."""
+        sink = target if target is not None else logger
+        sink.log(
+            level,
+            "run engine=%s patterns=%d seconds=%.6f",
+            self.engine,
+            self.patterns_found,
+            self.seconds,
+        )
+        for name, seconds in self.phase_seconds().items():
+            sink.log(level, "phase %s seconds=%.6f", name, seconds)
+
+
+def validate_run_record(record: Mapping[str, object]) -> None:
+    """Raise ``ValueError`` unless ``record`` is a valid run record.
+
+    Examples
+    --------
+    >>> validate_run_record({"schema": "bogus"})
+    Traceback (most recent call last):
+        ...
+    ValueError: run record schema 'bogus' != 'repro-run/v1'
+    """
+    schema = record.get("schema")
+    if schema != RUN_SCHEMA:
+        raise ValueError(f"run record schema {schema!r} != {RUN_SCHEMA!r}")
+    for key, expected in _RUN_REQUIRED:
+        if key not in record:
+            raise ValueError(f"run record missing required key {key!r}")
+        value = record[key]
+        if expected is float and isinstance(value, int):
+            value = float(value)
+        if not isinstance(value, expected):
+            raise ValueError(
+                f"run record key {key!r} must be {expected.__name__}, "
+                f"got {type(value).__name__}"
+            )
+    if record["kind"] != "run":
+        raise ValueError(f"run record kind {record['kind']!r} != 'run'")
+    counters = record["counters"]
+    for name in MiningStats.field_names():
+        if name not in counters:  # type: ignore[operator]
+            raise ValueError(f"run record counters missing {name!r}")
+
+
+class TraceWriter:
+    """JSON-lines trace sink.
+
+    Each span becomes one ``{"kind": "span", ...}`` line (depth-first,
+    with its dotted ``path``); each completed run contributes a final
+    ``{"kind": "run", ...}`` record.  Every line is a complete JSON
+    document, so a trace interrupted mid-run is still parseable.
+
+    Examples
+    --------
+    >>> import io
+    >>> handle = io.StringIO()
+    >>> writer = TraceWriter(handle)
+    >>> writer.write_record({"kind": "note", "text": "hi"})
+    >>> handle.getvalue()
+    '{"kind": "note", "text": "hi"}\\n'
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if hasattr(target, "write"):
+            self._handle: IO[str] = target  # type: ignore[assignment]
+            self._owns_handle = False
+        else:
+            self._handle = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Close the underlying file if this writer opened it."""
+        if self._owns_handle:
+            self._handle.close()
+
+    def write_record(self, record: Mapping[str, object]) -> None:
+        """Write one record as a single JSON line (flushed)."""
+        self._handle.write(json.dumps(record, sort_keys=False) + "\n")
+        self._handle.flush()
+
+    def write_spans(self, spans: Tuple[Span, ...]) -> None:
+        """One line per span, depth-first, with the dotted path."""
+        for root in spans:
+            self._write_span_tree(root, prefix="")
+
+    def _write_span_tree(self, item: Span, prefix: str) -> None:
+        path = f"{prefix}.{item.name}" if prefix else item.name
+        record: Dict[str, object] = {
+            "kind": "span",
+            "path": path,
+            "name": item.name,
+            "seconds": item.seconds,
+        }
+        if item.memory_peak_bytes is not None:
+            record["memory_peak_bytes"] = item.memory_peak_bytes
+        self.write_record(record)
+        for child in item.children:
+            self._write_span_tree(child, prefix=path)
+
+    def write_run(self, telemetry: MiningTelemetry) -> None:
+        """A full trace of one run: span lines then the run record."""
+        self.write_spans(telemetry.spans)
+        self.write_record(telemetry.as_run_record())
+
+
+def read_trace(source: Union[str, IO[str]]) -> List[Dict[str, object]]:
+    """Parse a JSON-lines trace back into records.
+
+    Blank lines are ignored; anything else must be valid JSON.
+    """
+    if hasattr(source, "read"):
+        text = source.read()  # type: ignore[union-attr]
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    records: List[Dict[str, object]] = []
+    for line in text.splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    return records
+
+
+def profile_call(
+    fn: Callable[[], object],
+    engine: str,
+    params: Optional[Dict[str, object]] = None,
+    dataset: Optional[str] = None,
+    track_memory: bool = False,
+    stats: Optional[MiningStats] = None,
+    count: Callable[[object], int] = lambda result: len(result),  # type: ignore[arg-type]
+) -> Tuple[object, MiningTelemetry]:
+    """Run ``fn`` under a fresh collector and package the telemetry.
+
+    This is the generic profiling wrapper for code paths that do not go
+    through ``mine_recurring_patterns`` (baseline miners, the
+    noise-tolerant miner): any :func:`~repro.obs.spans.span` calls made
+    inside ``fn`` are captured as the phase breakdown.
+
+    ``count`` extracts ``patterns_found`` from the result (``len`` by
+    default); ``stats`` supplies counters when the callee populates
+    them, otherwise an empty :class:`MiningStats` is attached.
+    """
+    collector = SpanCollector(track_memory=track_memory)
+    with collector:
+        with span("run") as run_span:
+            result = fn()
+    run_stats = stats if stats is not None else MiningStats()
+    if run_stats.patterns_found == 0:
+        run_stats.patterns_found = count(result)
+    telemetry = MiningTelemetry(
+        engine=engine,
+        params=dict(params or {}),
+        stats=run_stats,
+        spans=collector.spans,
+        patterns_found=count(result),
+        seconds=run_span.seconds,
+        memory_peak_bytes=collector.memory_peak_bytes,
+        dataset=dataset,
+    )
+    return result, telemetry
+
+
+def _format_bytes(value: Optional[int]) -> str:
+    if value is None:
+        return ""
+    if value >= 1 << 20:
+        return f"{value / (1 << 20):.1f} MiB"
+    if value >= 1 << 10:
+        return f"{value / (1 << 10):.1f} KiB"
+    return f"{value} B"

@@ -1,0 +1,95 @@
+"""Unit tests for tracemalloc-based memory sampling."""
+
+import tracemalloc
+
+from repro.obs.memory import MemoryTracker, peak_memory
+from repro.obs.spans import SpanCollector, span
+
+
+class TestMemoryTracker:
+    def test_peak_sees_allocations(self):
+        tracker = MemoryTracker()
+        tracker.start()
+        try:
+            blob = bytearray(1 << 20)
+            assert tracker.peak() >= 1 << 20
+            del blob
+        finally:
+            tracker.stop()
+        assert not tracemalloc.is_tracing()
+
+    def test_does_not_stop_an_outer_trace(self):
+        tracemalloc.start()
+        try:
+            tracker = MemoryTracker()
+            tracker.start()
+            tracker.stop()
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+    def test_reset_peak_narrows_the_window(self):
+        tracker = MemoryTracker()
+        tracker.start()
+        try:
+            blob = bytearray(1 << 20)
+            del blob
+            tracker.reset_peak()
+            assert tracker.peak() < 1 << 20
+        finally:
+            tracker.stop()
+
+    def test_sample_returns_current_and_peak(self):
+        tracker = MemoryTracker()
+        tracker.start()
+        try:
+            current, peak = tracker.sample()
+            assert 0 <= current <= peak
+        finally:
+            tracker.stop()
+
+
+class TestPeakMemoryContext:
+    def test_measures_block_peak(self):
+        with peak_memory() as measured:
+            blob = bytearray(2 << 20)
+            del blob
+        assert measured.bytes >= 2 << 20
+        assert not tracemalloc.is_tracing()
+
+
+class TestSpanMemoryIntegration:
+    def test_spans_record_peaks_when_tracking(self):
+        collector = SpanCollector(track_memory=True)
+        with collector:
+            with span("alloc"):
+                blob = bytearray(1 << 20)
+                del blob
+            with span("idle"):
+                pass
+        alloc, idle = collector.spans
+        assert alloc.memory_peak_bytes >= 1 << 20
+        assert idle.memory_peak_bytes is not None
+        assert idle.memory_peak_bytes < 1 << 20
+        assert collector.memory_peak_bytes >= 1 << 20
+        assert not tracemalloc.is_tracing()
+
+    def test_child_peak_folds_into_parent(self):
+        collector = SpanCollector(track_memory=True)
+        with collector:
+            with span("outer"):
+                with span("inner"):
+                    blob = bytearray(1 << 20)
+                    del blob
+        (outer,) = collector.spans
+        inner = outer.children[0]
+        assert inner.memory_peak_bytes >= 1 << 20
+        assert outer.memory_peak_bytes >= inner.memory_peak_bytes
+
+    def test_no_memory_fields_when_tracking_off(self):
+        collector = SpanCollector()
+        with collector:
+            with span("plain"):
+                bytearray(1 << 16)
+        assert collector.spans[0].memory_peak_bytes is None
+        assert collector.memory_peak_bytes is None

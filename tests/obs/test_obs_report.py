@@ -1,0 +1,136 @@
+"""Unit tests for telemetry packaging, trace files and validation."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.counters import MiningStats
+from repro.obs.report import (
+    RUN_SCHEMA,
+    MiningTelemetry,
+    TraceWriter,
+    profile_call,
+    read_trace,
+    validate_run_record,
+)
+from repro.obs.spans import SpanCollector, span
+
+
+def _sample_telemetry() -> MiningTelemetry:
+    collector = SpanCollector()
+    with collector:
+        with span("first_scan"):
+            pass
+        with span("mine"):
+            with span("conditional"):
+                pass
+    return MiningTelemetry(
+        engine="rp-growth",
+        params={"per": 2, "min_ps": 3, "min_rec": 2},
+        stats=MiningStats(patterns_found=8, erec_evaluations=24),
+        spans=collector.spans,
+        patterns_found=8,
+        seconds=0.25,
+    )
+
+
+class TestRunRecord:
+    def test_record_validates(self):
+        record = _sample_telemetry().as_run_record()
+        validate_run_record(record)  # must not raise
+        assert record["schema"] == RUN_SCHEMA
+        assert record["counters"]["patterns_found"] == 8
+
+    def test_record_is_json_serialisable(self):
+        text = json.dumps(_sample_telemetry().as_run_record())
+        validate_run_record(json.loads(text))
+
+    @pytest.mark.parametrize("missing", [
+        "engine", "params", "patterns_found", "seconds", "counters", "spans",
+    ])
+    def test_missing_key_rejected(self, missing):
+        record = _sample_telemetry().as_run_record()
+        del record[missing]
+        with pytest.raises(ValueError, match=missing):
+            validate_run_record(record)
+
+    def test_wrong_schema_rejected(self):
+        record = _sample_telemetry().as_run_record()
+        record["schema"] = "bogus/v0"
+        with pytest.raises(ValueError, match="schema"):
+            validate_run_record(record)
+
+    def test_missing_counter_rejected(self):
+        record = _sample_telemetry().as_run_record()
+        del record["counters"]["erec_evaluations"]
+        with pytest.raises(ValueError, match="erec_evaluations"):
+            validate_run_record(record)
+
+    def test_phase_seconds_aggregates_by_name(self):
+        telemetry = _sample_telemetry()
+        phases = telemetry.phase_seconds()
+        assert set(phases) == {"first_scan", "mine", "conditional"}
+
+
+class TestTraceRoundTrip:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry = _sample_telemetry()
+        with TraceWriter(str(path)) as writer:
+            writer.write_run(telemetry)
+        records = read_trace(str(path))
+        kinds = [record["kind"] for record in records]
+        assert kinds == ["span", "span", "span", "run"]
+        assert records[2]["path"] == "mine.conditional"
+        validate_run_record(records[-1])
+        assert records[-1]["patterns_found"] == 8
+
+    def test_writer_accepts_open_handle(self):
+        handle = io.StringIO()
+        with TraceWriter(handle) as writer:
+            writer.write_record({"kind": "note"})
+        assert json.loads(handle.getvalue()) == {"kind": "note"}
+
+    def test_every_line_is_complete_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(str(path)) as writer:
+            writer.write_run(_sample_telemetry())
+        for line in path.read_text().splitlines():
+            json.loads(line)  # must not raise
+
+
+class TestSummaryAndLogging:
+    def test_summary_table_mentions_phases_and_counters(self):
+        table = _sample_telemetry().summary_table()
+        assert "first_scan" in table
+        assert "  conditional" in table  # indented child
+        assert "patterns_found" in table
+        assert "total" in table
+
+    def test_log_sink_emits_run_and_phase_records(self, caplog):
+        telemetry = _sample_telemetry()
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            telemetry.log()
+        messages = [record.getMessage() for record in caplog.records]
+        assert any("engine=rp-growth" in m for m in messages)
+        assert any(m.startswith("phase mine") for m in messages)
+
+
+class TestProfileCall:
+    def test_wraps_any_callable(self):
+        def work():
+            with span("inner"):
+                pass
+            return [1, 2, 3]
+
+        result, telemetry = profile_call(
+            work, engine="baseline/frequent", params={"min_sup": 2}
+        )
+        assert result == [1, 2, 3]
+        assert telemetry.patterns_found == 3
+        (run,) = telemetry.spans
+        assert run.name == "run"
+        assert [c.name for c in run.children] == ["inner"]
+        validate_run_record(telemetry.as_run_record())

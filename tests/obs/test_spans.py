@@ -1,0 +1,126 @@
+"""Unit tests for the span/timer layer."""
+
+import threading
+
+from repro.obs.spans import SpanCollector, current_collector, span
+
+
+class TestDisabledMode:
+    def test_span_without_collector_is_shared_noop(self):
+        first = span("anything")
+        second = span("other")
+        assert first is second  # the shared no-op singleton
+
+    def test_noop_span_yields_none_and_swallows_nothing(self):
+        with span("idle") as live:
+            assert live is None
+
+    def test_no_collector_active_by_default(self):
+        assert current_collector() is None
+
+
+class TestCollection:
+    def test_flat_spans_are_roots(self):
+        collector = SpanCollector()
+        with collector:
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        assert [s.name for s in collector.spans] == ["a", "b"]
+        assert all(s.seconds >= 0.0 for s in collector.spans)
+
+    def test_nested_spans_build_a_tree(self):
+        collector = SpanCollector()
+        with collector:
+            with span("outer"):
+                with span("inner"):
+                    with span("leaf"):
+                        pass
+                with span("sibling"):
+                    pass
+        (outer,) = collector.spans
+        assert [c.name for c in outer.children] == ["inner", "sibling"]
+        assert [c.name for c in outer.children[0].children] == ["leaf"]
+        assert list((name, depth) for depth, s in outer.walk()
+                    for name in [s.name]) == [
+            ("outer", 0), ("inner", 1), ("leaf", 2), ("sibling", 1),
+        ]
+
+    def test_child_time_is_contained_in_parent(self):
+        collector = SpanCollector()
+        with collector:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        (outer,) = collector.spans
+        assert outer.children[0].seconds <= outer.seconds
+
+    def test_total_sums_same_named_spans(self):
+        collector = SpanCollector()
+        with collector:
+            for _ in range(3):
+                with span("step"):
+                    pass
+        assert collector.total("step") == sum(
+            s.seconds for s in collector.spans
+        )
+        assert collector.total("absent") == 0.0
+
+    def test_collector_deactivates_on_exit(self):
+        collector = SpanCollector()
+        with collector:
+            assert current_collector() is collector
+        assert current_collector() is None
+        assert span("after") is span("after-too")  # no-op again
+
+    def test_collectors_nest_and_restore(self):
+        outer = SpanCollector()
+        inner = SpanCollector()
+        with outer:
+            with span("outer-span"):
+                pass
+            with inner:
+                with span("inner-span"):
+                    pass
+            assert current_collector() is outer
+        assert [s.name for s in outer.spans] == ["outer-span"]
+        assert [s.name for s in inner.spans] == ["inner-span"]
+
+    def test_spans_survive_exceptions(self):
+        collector = SpanCollector()
+        try:
+            with collector:
+                with span("boom"):
+                    raise RuntimeError("inside span")
+        except RuntimeError:
+            pass
+        assert [s.name for s in collector.spans] == ["boom"]
+        assert current_collector() is None
+
+    def test_collector_is_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["collector"] = current_collector()
+            seen["span"] = span("elsewhere")
+
+        collector = SpanCollector()
+        with collector:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["collector"] is None
+        assert seen["span"] is span("noop")  # other thread got the no-op
+
+    def test_as_dict_shape(self):
+        collector = SpanCollector()
+        with collector:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        record = collector.spans[0].as_dict()
+        assert record["name"] == "outer"
+        assert isinstance(record["seconds"], float)
+        assert record["children"][0]["name"] == "inner"
+        assert "memory_peak_bytes" not in record

@@ -1,0 +1,182 @@
+"""CLI tests for the observability flags (--profile/--trace-out/--log-level)."""
+
+import json
+import logging
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import paper_running_example
+from repro.obs.report import read_trace, validate_run_record
+from repro.timeseries.io import save_transactional_database
+
+
+@pytest.fixture
+def example_file(tmp_path):
+    path = tmp_path / "example.tsv"
+    save_transactional_database(paper_running_example(), path)
+    return str(path)
+
+
+BASE = ["--per", "2", "--min-ps", "3", "--min-rec", "2"]
+
+
+class TestMineProfile:
+    def test_profile_prints_phase_table_to_stderr(
+        self, example_file, capsys
+    ):
+        code = main(["mine", "--input", example_file, *BASE, "--profile"])
+        captured = capsys.readouterr()
+        assert code == 0
+        # stdout is the unchanged pattern table ...
+        assert "8 recurring patterns" in captured.out
+        assert "first_scan" not in captured.out
+        # ... the phase table and counters go to stderr.
+        for phase in ("transform", "first_scan", "tree_build", "mine"):
+            assert phase in captured.err
+        assert "patterns_found" in captured.err
+
+    def test_trace_out_writes_valid_run_record(
+        self, example_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "run.jsonl"
+        code = main([
+            "mine", "--input", example_file, *BASE,
+            "--trace-out", str(trace),
+        ])
+        assert code == 0
+        records = read_trace(str(trace))
+        assert [r["kind"] for r in records[:-1]] == ["span"] * (
+            len(records) - 1
+        )
+        final = records[-1]
+        validate_run_record(final)
+        assert final["patterns_found"] == 8
+        assert final["engine"] == "rp-growth"
+
+    def test_trace_lines_are_individually_parseable(
+        self, example_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "run.jsonl"
+        assert main([
+            "mine", "--input", example_file, *BASE,
+            "--trace-out", str(trace),
+        ]) == 0
+        for line in trace.read_text().splitlines():
+            json.loads(line)
+
+    def test_profiled_run_mines_identical_patterns(
+        self, example_file, capsys
+    ):
+        assert main(["mine", "--input", example_file, *BASE]) == 0
+        plain = capsys.readouterr().out
+        assert main([
+            "mine", "--input", example_file, *BASE,
+            "--profile", "--track-memory",
+        ]) == 0
+        profiled = capsys.readouterr().out
+        assert profiled == plain
+
+    def test_track_memory_reports_peaks(self, example_file, capsys):
+        code = main([
+            "mine", "--input", example_file, *BASE,
+            "--profile", "--track-memory",
+        ])
+        assert code == 0
+        assert "peak mem" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("engine", ["rp-eclat", "rp-eclat-np", "naive"])
+    def test_every_engine_supports_profiling(
+        self, example_file, tmp_path, capsys, engine
+    ):
+        trace = tmp_path / "run.jsonl"
+        code = main([
+            "mine", "--input", example_file, *BASE,
+            "--engine", engine, "--profile", "--trace-out", str(trace),
+        ])
+        assert code == 0
+        final = read_trace(str(trace))[-1]
+        validate_run_record(final)
+        assert final["engine"] == engine
+        assert final["counters"]["patterns_found"] == 8
+
+    def test_noise_tolerant_path_profiles_too(self, tmp_path, capsys):
+        from repro.timeseries.database import TransactionalDatabase
+
+        db = TransactionalDatabase([(ts, "a") for ts in [1, 2, 3, 5, 6, 7]])
+        path = tmp_path / "noisy.tsv"
+        save_transactional_database(db, path)
+        trace = tmp_path / "noise.jsonl"
+        code = main([
+            "mine", "--input", str(path), "--per", "1", "--min-ps", "4",
+            "--max-faults", "1", "--profile", "--trace-out", str(trace),
+        ])
+        assert code == 0
+        final = read_trace(str(trace))[-1]
+        validate_run_record(final)
+        assert final["engine"] == "noise-tolerant"
+
+
+class TestBaselineProfile:
+    def test_profile_and_trace(self, example_file, tmp_path, capsys):
+        trace = tmp_path / "baseline.jsonl"
+        code = main([
+            "baseline", "--input", example_file, "--model", "p-pattern",
+            "--per", "2", "--min-sup", "4",
+            "--profile", "--trace-out", str(trace),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "p-pattern patterns" in captured.out
+        assert "run" in captured.err
+        final = read_trace(str(trace))[-1]
+        validate_run_record(final)
+        assert final["engine"] == "baseline/p-pattern"
+
+
+class TestBenchTrace:
+    def test_trace_out_emits_one_run_record_per_cell(self, tmp_path, capsys):
+        trace = tmp_path / "bench.jsonl"
+        code = main([
+            "bench", "--dataset", "quest", "--scale", "0.005",
+            "--pers", "10", "50", "--min-ps", "0.01", "--min-recs", "1",
+            "--trace-out", str(trace), "--profile",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "quest: seconds" in captured.out  # runtime sweep implied
+        assert "phase totals" in captured.err
+        records = read_trace(str(trace))
+        assert len(records) == 2  # one per (per, min_ps, min_rec) cell
+        for record in records:
+            validate_run_record(record)
+            assert record["dataset"] == "quest"
+            assert any(s["name"] == "mine" for s in record["spans"])
+
+
+class TestLogLevel:
+    def test_log_level_wires_stdlib_logging(self, example_file, capsys):
+        root = logging.getLogger()
+        previous_handlers = root.handlers[:]
+        previous_level = root.level
+        try:
+            root.handlers = []
+            code = main([
+                "mine", "--input", example_file, *BASE,
+                "--profile", "--log-level", "debug",
+            ])
+            assert code == 0
+            assert root.level == logging.DEBUG
+        finally:
+            root.handlers = previous_handlers
+            root.level = previous_level
+
+    def test_log_level_accepted_by_every_subcommand(self, tmp_path):
+        out = tmp_path / "g.tsv"
+        assert main([
+            "generate", "--dataset", "quest", "--scale", "0.005",
+            "--output", str(out), "--log-level", "warning",
+        ]) == 0
+        assert main([
+            "stats", "--input", str(out), "--log-level", "warning",
+        ]) == 0
