@@ -39,6 +39,7 @@ from repro.core.rules import RecurringRule, SeasonalRecommender, derive_rules
 from repro.core.streaming import StreamingRecurrenceMonitor
 from repro.core.targeted import mine_patterns_containing
 from repro.obs import MiningTelemetry, SpanCollector, span
+from repro.parallel import ParallelMiner
 from repro.exceptions import (
     DataFormatError,
     EmptyDatabaseError,
@@ -58,6 +59,7 @@ __all__ = [
     "mine_recurring_patterns_naive",
     "RPGrowth",
     "RPEclat",
+    "ParallelMiner",
     "MiningStats",
     "MiningParameters",
     "RecurringPattern",

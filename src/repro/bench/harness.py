@@ -117,12 +117,15 @@ def sweep_pattern_counts(
     min_ps_values: Sequence[Union[int, float]],
     min_recs: Sequence[int],
     engine: str = "rp-growth",
+    jobs: int = 1,
 ) -> GridResult:
     """Count recurring patterns over the full parameter grid (Table 5).
 
     Each cell's engine counters are kept in ``result.stats`` so the
     ablation benches and ``repro-mine bench --trace-out`` can report
-    pruning effectiveness without re-mining.
+    pruning effectiveness without re-mining.  With ``jobs > 1`` every
+    cell is mined by the parallel layer (identical counts and
+    counters; see ``docs/performance.md``).
     """
     result = GridResult(
         dataset=dataset,
@@ -136,7 +139,7 @@ def sweep_pattern_counts(
             for min_rec in min_recs:
                 found, telemetry = mine_recurring_patterns(
                     database, per, min_ps, min_rec, engine=engine,
-                    collect_stats=True,
+                    jobs=jobs, collect_stats=True,
                 )
                 key = (per, min_ps, min_rec)
                 result.cells[key] = float(len(found))
@@ -152,13 +155,16 @@ def sweep_runtime(
     min_recs: Sequence[int],
     engine: str = "rp-growth",
     repeats: int = 1,
+    jobs: int = 1,
 ) -> GridResult:
     """Measure mining wall-clock over the parameter grid (Table 7).
 
     The best of ``repeats`` runs is recorded, as is conventional for
     runtime tables.  Timing is span-based (:mod:`repro.obs.spans`), so
     every cell also carries the phase breakdown of its best run —
-    see :meth:`GridResult.phase_breakdown`.
+    see :meth:`GridResult.phase_breakdown`.  ``jobs > 1`` times the
+    parallel layer instead of the serial engine (the wall-clock then
+    includes pool start-up per cell).
     """
     result = GridResult(
         dataset=dataset,
@@ -176,7 +182,8 @@ def sweep_runtime(
                     collector = SpanCollector()
                     with collector, span("run"):
                         mine_recurring_patterns(
-                            database, per, min_ps, min_rec, engine=engine
+                            database, per, min_ps, min_rec, engine=engine,
+                            jobs=jobs,
                         )
                     run = collector.roots[0]
                     if run.seconds < best:

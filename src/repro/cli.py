@@ -63,6 +63,17 @@ def _add_logging_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the pruning engines "
+        "(1 = serial, the default; see docs/performance.md)",
+    )
+
+
 def _add_profiling_flags(
     parser: argparse.ArgumentParser, memory: bool = True
 ) -> None:
@@ -263,6 +274,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profiling_flags(mine)
     _add_profiling_flags(baseline)
     _add_profiling_flags(bench, memory=False)
+    for sub in (mine, bench, baseline):
+        _add_jobs_flag(sub)
     return parser
 
 
@@ -305,6 +318,11 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     profiling = args.profile or args.trace_out or args.track_memory
     telemetry = None
     if args.max_faults:
+        if args.jobs > 1:
+            print(
+                "note: the noise-tolerant miner is serial; --jobs ignored",
+                file=sys.stderr,
+            )
         from repro.core.noise import mine_noise_tolerant_patterns
 
         def run_noise_miner():
@@ -343,6 +361,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             min_ps=args.min_ps,
             min_rec=args.min_rec,
             engine=args.engine,
+            jobs=args.jobs,
             collect_stats=True,
             trace=args.trace_out,
             track_memory=args.track_memory,
@@ -354,6 +373,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             min_ps=args.min_ps,
             min_rec=args.min_rec,
             engine=args.engine,
+            jobs=args.jobs,
         )
     if telemetry is not None:
         telemetry.log(level=logging.DEBUG)
@@ -440,6 +460,12 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
     )
 
     database = _load(args.input, args.format)
+    if args.jobs > 1:
+        print(
+            "note: baseline miners are serial; --jobs ignored "
+            "(parallel mining is for the recurring-pattern engines)",
+            file=sys.stderr,
+        )
 
     def run_baseline():
         if args.model == "frequent":
@@ -515,6 +541,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         args.min_ps_values,
         args.min_recs,
         engine=args.engine,
+        jobs=args.jobs,
     )
     print(counts.as_table())
     # A trace or profile needs per-cell timings, so those imply the
@@ -528,6 +555,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             args.min_ps_values,
             args.min_recs,
             engine=args.engine,
+            jobs=args.jobs,
         )
         print()
         print(runtime.as_table())

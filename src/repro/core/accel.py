@@ -23,7 +23,9 @@ from repro.core.model import (
     MiningParameters,
     RecurringPattern,
     RecurringPatternSet,
+    ResolvedParameters,
 )
+from repro.core.ordering import sort_candidates
 from repro.obs.counters import MiningStats
 from repro.obs.spans import span
 from repro.timeseries.database import TransactionalDatabase
@@ -37,19 +39,29 @@ __all__ = [
 ]
 
 
-def _run_lengths(timestamps: np.ndarray, per: Number) -> np.ndarray:
-    """Lengths of the maximal periodic runs, vectorised.
+def _run_bounds(
+    timestamps: np.ndarray, per: Number
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(starts, ends, lengths)`` of the maximal periodic runs.
 
-    ``timestamps`` must be a strictly increasing 1-D array.
+    ``timestamps`` must be a strictly increasing 1-D array; ``starts``
+    and ``ends`` are inclusive indices into it.  This is the one
+    vectorised pass shared by every ``*_np`` function below.
     """
     if timestamps.size == 0:
-        return np.zeros(0, dtype=np.int64)
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, empty
     gaps = np.diff(timestamps)
     # Boundaries where a new run starts (gap > per), as indices into ts.
     breaks = np.flatnonzero(gaps > per)
     starts = np.concatenate(([0], breaks + 1))
     ends = np.concatenate((breaks, [timestamps.size - 1]))
-    return ends - starts + 1
+    return starts, ends, ends - starts + 1
+
+
+def _run_lengths(timestamps: np.ndarray, per: Number) -> np.ndarray:
+    """Lengths of the maximal periodic runs, vectorised."""
+    return _run_bounds(timestamps, per)[2]
 
 
 def estimated_recurrence_np(
@@ -88,11 +100,7 @@ def interesting_intervals_np(
     check_count(min_ps, "min_ps")
     if timestamps.size == 0:
         return []
-    gaps = np.diff(timestamps)
-    breaks = np.flatnonzero(gaps > per)
-    starts = np.concatenate(([0], breaks + 1))
-    ends = np.concatenate((breaks, [timestamps.size - 1]))
-    lengths = ends - starts + 1
+    starts, ends, lengths = _run_bounds(timestamps, per)
     keep = lengths >= min_ps
     return [
         (timestamps[s].item(), timestamps[e].item(), int(length))
@@ -128,50 +136,69 @@ class FastRPEclat:
         if len(database) == 0:
             return RecurringPatternSet()
         params = self.params.resolve(len(database))
-        per, min_ps, min_rec = params.per, params.min_ps, params.min_rec
 
         with span("first_scan"):
-            item_ts = {
-                item: np.asarray(ts)
-                for item, ts in database.item_timestamps().items()
-            }
-            candidates: List[Tuple[Item, np.ndarray]] = []
-            for item in sorted(item_ts, key=repr):
-                ts = item_ts[item]
-                stats.erec_evaluations += 1
-                if estimated_recurrence_np(ts, per, min_ps) >= min_rec:
-                    candidates.append((item, ts))
-                    stats.tid_list_entries += int(ts.size)
-                else:
-                    stats.pruned_items += 1
-        stats.candidate_items = len(candidates)
-        candidates.sort(key=lambda pair: (pair[1].size, repr(pair[0])))
+            candidates = self._first_scan(database, params, stats)
 
         found: List[RecurringPattern] = []
-
-        def grow(
-            prefix: Tuple[Item, ...],
-            prefix_ts: np.ndarray,
-            extensions: List[Tuple[Item, np.ndarray]],
-        ) -> None:
-            stats.candidate_patterns += 1
-            stats.recurrence_evaluations += 1
-            runs = interesting_intervals_np(prefix_ts, per, min_ps)
-            if len(runs) >= min_rec:
-                stats.patterns_found += 1
-                pattern = params.pattern_from_timestamps(
-                    prefix, prefix_ts.tolist()
-                )
-                assert pattern is not None
-                found.append(pattern)
-            for index, (item, ts) in enumerate(extensions):
-                new_ts = np.intersect1d(prefix_ts, ts, assume_unique=True)
-                stats.erec_evaluations += 1
-                stats.tid_list_entries += int(new_ts.size)
-                if estimated_recurrence_np(new_ts, per, min_ps) >= min_rec:
-                    grow(prefix + (item,), new_ts, extensions[index + 1:])
-
         with span("mine"):
             for index, (item, ts) in enumerate(candidates):
-                grow((item,), ts, candidates[index + 1:])
+                self._grow(
+                    (item,), ts, candidates[index + 1:],
+                    params, found, stats,
+                )
         return RecurringPatternSet(found)
+
+    def _first_scan(
+        self,
+        database: TransactionalDatabase,
+        params: ResolvedParameters,
+        stats: MiningStats,
+    ) -> List[Tuple[Item, np.ndarray]]:
+        """Candidate 1-items with array ts-lists, in canonical order."""
+        per, min_ps, min_rec = params.per, params.min_ps, params.min_rec
+        item_ts = {
+            item: np.asarray(ts)
+            for item, ts in database.item_timestamps().items()
+        }
+        candidates: List[Tuple[Item, np.ndarray]] = []
+        for item in sorted(item_ts, key=repr):
+            ts = item_ts[item]
+            stats.erec_evaluations += 1
+            if estimated_recurrence_np(ts, per, min_ps) >= min_rec:
+                candidates.append((item, ts))
+                stats.tid_list_entries += int(ts.size)
+            else:
+                stats.pruned_items += 1
+        stats.candidate_items = len(candidates)
+        return sort_candidates(candidates)
+
+    def _grow(
+        self,
+        prefix: Tuple[Item, ...],
+        prefix_ts: np.ndarray,
+        extensions: List[Tuple[Item, np.ndarray]],
+        params: ResolvedParameters,
+        found: List[RecurringPattern],
+        stats: MiningStats,
+    ) -> None:
+        per, min_ps, min_rec = params.per, params.min_ps, params.min_rec
+        stats.candidate_patterns += 1
+        stats.recurrence_evaluations += 1
+        runs = interesting_intervals_np(prefix_ts, per, min_ps)
+        if len(runs) >= min_rec:
+            stats.patterns_found += 1
+            pattern = params.pattern_from_timestamps(
+                prefix, prefix_ts.tolist()
+            )
+            assert pattern is not None
+            found.append(pattern)
+        for index, (item, ts) in enumerate(extensions):
+            new_ts = np.intersect1d(prefix_ts, ts, assume_unique=True)
+            stats.erec_evaluations += 1
+            stats.tid_list_entries += int(new_ts.size)
+            if estimated_recurrence_np(new_ts, per, min_ps) >= min_rec:
+                self._grow(
+                    prefix + (item,), new_ts, extensions[index + 1:],
+                    params, found, stats,
+                )

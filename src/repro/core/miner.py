@@ -45,6 +45,7 @@ def mine_recurring_patterns(
     min_rec: int = 1,
     engine: str = "rp-growth",
     *,
+    jobs: Optional[int] = None,
     collect_stats: bool = False,
     trace: Union[str, IO[str], None] = None,
     track_memory: bool = False,
@@ -76,6 +77,15 @@ def mine_recurring_patterns(
         (vertical cross-check engine), ``"rp-eclat-np"`` (vectorised
         vertical engine) or ``"naive"`` (exhaustive; small inputs
         only).
+    jobs:
+        Worker-process count for the pruning engines.  ``None`` or
+        ``1`` mines serially (byte-identical to earlier releases);
+        ``jobs > 1`` partitions the search space by prefix and mines
+        it in a process pool (:mod:`repro.parallel`) — the returned
+        pattern set and the merged counters are identical to the
+        serial run's.  The ``naive`` engine does not support
+        ``jobs > 1``.  See ``docs/performance.md`` for when
+        parallelism actually pays.
     collect_stats:
         Also return a :class:`~repro.obs.report.MiningTelemetry` —
         phase spans, the engine's counters, total wall-clock — as the
@@ -116,10 +126,11 @@ def mine_recurring_patterns(
         raise ParameterError(
             f"unknown engine {engine!r}; expected one of {ENGINES}"
         )
+    jobs = _resolve_jobs(jobs, engine)
     if not (collect_stats or trace is not None):
         with span("transform"):
             database = _as_database(data)
-        result, _ = _run_engine(database, per, min_ps, min_rec, engine)
+        result, _ = _run_engine(database, per, min_ps, min_rec, engine, jobs)
         return result
 
     collector = SpanCollector(track_memory=track_memory)
@@ -127,11 +138,16 @@ def mine_recurring_patterns(
     with collector:
         with span("transform"):
             database = _as_database(data)
-        result, stats = _run_engine(database, per, min_ps, min_rec, engine)
+        result, stats = _run_engine(
+            database, per, min_ps, min_rec, engine, jobs
+        )
     seconds = time.perf_counter() - started
+    params: dict = {"per": per, "min_ps": min_ps, "min_rec": min_rec}
+    if jobs > 1:
+        params["jobs"] = jobs
     telemetry = MiningTelemetry(
         engine=engine,
-        params={"per": per, "min_ps": min_ps, "min_rec": min_rec},
+        params=params,
         stats=stats,
         spans=collector.spans,
         patterns_found=len(result),
@@ -147,14 +163,35 @@ def mine_recurring_patterns(
     return result
 
 
+def _resolve_jobs(jobs: Optional[int], engine: str) -> int:
+    """Validate the ``jobs`` argument against the chosen engine."""
+    if jobs is None:
+        return 1
+    if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
+        raise ParameterError(f"jobs must be a positive int, got {jobs!r}")
+    if jobs > 1 and engine == "naive":
+        raise ParameterError(
+            "engine 'naive' does not support jobs > 1; it is the "
+            "exhaustive reference and stays single-process by design"
+        )
+    return jobs
+
+
 def _run_engine(
     database: TransactionalDatabase,
     per: Number,
     min_ps: Union[int, float],
     min_rec: int,
     engine: str,
+    jobs: int = 1,
 ) -> Tuple[RecurringPatternSet, MiningStats]:
     """Dispatch to an engine, returning the result and its counters."""
+    if jobs > 1:
+        from repro.parallel import ParallelMiner
+
+        miner = ParallelMiner(per, min_ps, min_rec, engine=engine, jobs=jobs)
+        result = miner.mine(database)
+        return result, miner.last_stats or MiningStats()
     if engine == "rp-growth":
         miner = RPGrowth(per, min_ps, min_rec)
         result = miner.mine(database)

@@ -30,6 +30,7 @@ from repro.core.model import (
     RecurringPatternSet,
     ResolvedParameters,
 )
+from repro.core.ordering import sort_candidates
 from repro.obs.counters import MiningStats
 from repro.obs.spans import span
 from repro.timeseries.database import TransactionalDatabase
@@ -108,19 +109,7 @@ class RPEclat:
         params = self.params.resolve(len(database))
 
         with span("first_scan"):
-            item_ts = database.item_timestamps()
-            candidates: List[Tuple[Item, Tuple[float, ...]]] = []
-            for item in sorted(item_ts, key=repr):
-                ts_list = item_ts[item]
-                stats.erec_evaluations += 1
-                if self._passes_bound(ts_list, params, stats):
-                    candidates.append((item, ts_list))
-                    stats.tid_list_entries += len(ts_list)
-                else:
-                    stats.pruned_items += 1
-        stats.candidate_items = len(candidates)
-        # Rarest-first extension order keeps intermediate ts-lists short.
-        candidates.sort(key=lambda pair: (len(pair[1]), repr(pair[0])))
+            candidates = self._first_scan(database, params, stats)
 
         found: List[RecurringPattern] = []
         with span("mine"):
@@ -130,6 +119,31 @@ class RPEclat:
                     params, found, stats,
                 )
         return RecurringPatternSet(found)
+
+    def _first_scan(
+        self,
+        database: TransactionalDatabase,
+        params: ResolvedParameters,
+        stats: MiningStats,
+    ) -> List[Tuple[Item, Tuple[float, ...]]]:
+        """Candidate 1-items with their ts-lists, in canonical order.
+
+        The rarest-first extension order keeps intermediate ts-lists
+        short; the exact key is the cross-engine contract of
+        :mod:`repro.core.ordering`.
+        """
+        item_ts = database.item_timestamps()
+        candidates: List[Tuple[Item, Tuple[float, ...]]] = []
+        for item in sorted(item_ts, key=repr):
+            ts_list = item_ts[item]
+            stats.erec_evaluations += 1
+            if self._passes_bound(ts_list, params, stats):
+                candidates.append((item, ts_list))
+                stats.tid_list_entries += len(ts_list)
+            else:
+                stats.pruned_items += 1
+        stats.candidate_items = len(candidates)
+        return sort_candidates(candidates)
 
     # ------------------------------------------------------------------
     # Depth-first growth

@@ -30,11 +30,14 @@ class RPTreeNode:
 
     ``ts_list`` is non-empty only while the node is the tail of at
     least one inserted transaction (or has received pushed-up ts-lists
-    during mining).  The list is *not* kept sorted — merging happens
-    lazily when a pattern's full point sequence is assembled — but it
-    never contains duplicates, because each timestamp identifies a
-    unique transaction and each transaction maps to exactly one path
-    (Property 3).
+    during mining).  The list is *not* kept sorted — it is a
+    concatenation of sorted runs, and consumers sort on assembly,
+    which Timsort's run detection resolves as a C-speed k-way merge.
+    Keeping the list eagerly sorted (or merging with
+    :func:`heapq.merge`) measured strictly slower; see
+    docs/performance.md.  The list never contains duplicates, because
+    each timestamp identifies a unique transaction and each
+    transaction maps to exactly one path (Property 3).
     """
 
     __slots__ = ("item", "parent", "children", "ts_list")
@@ -115,7 +118,9 @@ class RPTree:
         """Sorted union of the ts-lists of every node of ``item``.
 
         When the tree is a conditional tree for suffix ``α``, this is
-        exactly ``TS^{ {item} ∪ α }``.
+        exactly ``TS^{ {item} ∪ α }``.  Every ts-list is a
+        concatenation of sorted runs, so the ``sort()`` here is
+        effectively a C-speed k-way merge (Timsort run detection).
         """
         merged: List[float] = []
         for node in self.nodes_by_item.get(item, ()):
@@ -145,7 +150,10 @@ class RPTree:
 
         This is line 9 of Algorithm 4, justified by Lemma 3: after the
         push-up, each parent's ts-list describes the shortened path for
-        the same transactions.
+        the same transactions.  The push-up concatenates; sorting is
+        deferred to the consumers (:meth:`pattern_timestamps` and the
+        conditional-tree build), which pay one Timsort run-merge each
+        instead of a merge per push-up level.
         """
         for node in self.nodes_by_item.get(item, ()):
             parent = node.parent

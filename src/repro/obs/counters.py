@@ -40,7 +40,7 @@ paper's quantities):
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, fields
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 try:  # Protocol is typing-only; keep a soft fallback for exotic 3.9s.
     from typing import Protocol, runtime_checkable
@@ -82,6 +82,34 @@ class MiningStats:
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view, in field order (for reports and JSON)."""
         return asdict(self)
+
+    def merge(self, other: "MiningStats") -> "MiningStats":
+        """Add ``other``'s counters into this instance, in place.
+
+        Every counter is additive across disjoint sub-problems, so a
+        parallel run merges its per-worker counter sets into one that
+        equals the serial run's counters exactly (the prefix partition
+        of :mod:`repro.parallel` is a partition of the serial work, not
+        an approximation of it).  Returns ``self`` for chaining /
+        ``functools.reduce``.
+
+        Examples
+        --------
+        >>> merged = MiningStats(patterns_found=3)
+        >>> merged.merge(MiningStats(patterns_found=5)).patterns_found
+        8
+        """
+        for name in self.field_names():
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    @classmethod
+    def merged(cls, parts: "Iterable[MiningStats]") -> "MiningStats":
+        """A fresh instance holding the sum of ``parts``' counters."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
 
     @classmethod
     def field_names(cls) -> tuple:

@@ -70,6 +70,28 @@ class Span:
             record["children"] = [child.as_dict() for child in self.children]
         return record
 
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "Span":
+        """Rebuild a span subtree from :meth:`as_dict` output.
+
+        The absolute ``started`` instant is not serialized (it is only
+        meaningful within one process's ``perf_counter`` clock), so the
+        rebuilt span carries ``started=0.0``.  Durations, names, peak
+        memory and children round-trip exactly; this is how the
+        parallel layer folds worker-process spans into the parent
+        collector's tree.
+        """
+        return cls(
+            name=str(record["name"]),
+            started=0.0,
+            seconds=float(record.get("seconds", 0.0)),  # type: ignore[arg-type]
+            memory_peak_bytes=record.get("memory_peak_bytes"),  # type: ignore[arg-type]
+            children=[
+                cls.from_dict(child)
+                for child in record.get("children", ())  # type: ignore[union-attr]
+            ],
+        )
+
 
 class _NoopSpan:
     """Returned by :func:`span` when no collector is active."""

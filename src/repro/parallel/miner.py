@@ -1,0 +1,280 @@
+"""The multiprocess mining wrapper.
+
+:class:`ParallelMiner` mines the same model as the serial engines by
+partitioning the search space along its first explored dimension
+(:mod:`repro.parallel.partition`), fanning the resulting sub-problems
+out to a ``concurrent.futures.ProcessPoolExecutor`` and merging the
+workers' patterns, counters and spans back into one result:
+
+* the pattern set is **identical** to the serial run's — the partition
+  covers the serial search space exactly, and
+  :class:`~repro.core.model.RecurringPatternSet` orders patterns
+  deterministically regardless of arrival order;
+* the merged :class:`~repro.obs.counters.MiningStats` equals the
+  serial counters exactly (the counters are additive over the
+  partition);
+* worker span trees are grafted under the parent's ``mine`` span, so
+  ``--profile`` tables and ``repro-run/v1`` traces stay coherent.
+
+See ``docs/performance.md`` for the partitioning scheme, the chunking
+policy and when ``jobs > 1`` actually helps.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro._validation import Number
+from repro.core.model import (
+    MiningParameters,
+    RecurringPattern,
+    RecurringPatternSet,
+)
+from repro.core.rp_list import build_rp_list
+from repro.core.rp_tree import build_rp_tree
+from repro.exceptions import ParameterError
+from repro.obs.counters import MiningStats
+from repro.obs.spans import Span, span
+from repro.parallel import partition as _partition
+from repro.parallel import worker as _worker
+from repro.timeseries.database import TransactionalDatabase
+
+__all__ = ["ParallelMiner", "PARALLEL_ENGINES", "default_jobs"]
+
+#: Engines the parallel layer can partition.  ``naive`` is excluded by
+#: design: it exists to be an obviously-correct reference, and a
+#: partitioned reference is no longer obviously correct.
+PARALLEL_ENGINES = ("rp-growth", "rp-eclat", "rp-eclat-np")
+
+
+def default_jobs() -> int:
+    """Default worker count: one per available CPU (at least 1)."""
+    return os.cpu_count() or 1
+
+
+class ParallelMiner:
+    """Shared-nothing multiprocess front end over the serial engines.
+
+    Parameters
+    ----------
+    per, min_ps, min_rec:
+        Model thresholds, exactly as for the serial engines.
+    engine:
+        One of :data:`PARALLEL_ENGINES`.
+    jobs:
+        Worker process count; ``None`` means one per CPU.  ``jobs=1``
+        delegates to the serial engine in-process — no pool, no pickling,
+        byte-identical behaviour.
+    chunks_per_job:
+        Target chunk count per worker (default 4).  More chunks means
+        finer-grained load balancing but more IPC; the default keeps
+        the straggler tail short without measurable overhead.
+    mp_context:
+        A :mod:`multiprocessing` context or start-method name.  The
+        default prefers ``fork`` (cheap, inherits the imported
+        library) and falls back to ``spawn`` where fork is unavailable
+        (Windows, macOS defaults); both work because worker state
+        travels through the pool initializer, never through globals
+        that only exist in the parent.
+    pruning, max_length, item_order:
+        Forwarded to the underlying engine (``pruning`` to RP-eclat,
+        ``item_order`` to RP-growth's tree build).
+
+    Examples
+    --------
+    >>> from repro.datasets import paper_running_example
+    >>> miner = ParallelMiner(per=2, min_ps=3, min_rec=2, jobs=2)
+    >>> len(miner.mine(paper_running_example()))
+    8
+    """
+
+    def __init__(
+        self,
+        per: Number,
+        min_ps: Union[int, float],
+        min_rec: int,
+        engine: str = "rp-growth",
+        *,
+        jobs: Optional[int] = None,
+        chunks_per_job: int = 4,
+        mp_context: Union[str, object, None] = None,
+        pruning: str = "erec",
+        max_length: Optional[int] = None,
+        item_order: str = "support-desc",
+    ):
+        if engine not in PARALLEL_ENGINES:
+            raise ParameterError(
+                f"engine {engine!r} is not parallel-capable; "
+                f"expected one of {PARALLEL_ENGINES}"
+            )
+        if jobs is None:
+            jobs = default_jobs()
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise ParameterError(f"jobs must be a positive int, got {jobs!r}")
+        if chunks_per_job < 1:
+            raise ParameterError(
+                f"chunks_per_job must be >= 1, got {chunks_per_job!r}"
+            )
+        self.params = MiningParameters(per=per, min_ps=min_ps, min_rec=min_rec)
+        self.engine = engine
+        self.jobs = jobs
+        self.chunks_per_job = chunks_per_job
+        self.mp_context = mp_context
+        self.pruning = pruning
+        self.max_length = max_length
+        self.item_order = item_order
+        self.last_stats: Optional[MiningStats] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def mine(self, database: TransactionalDatabase) -> RecurringPatternSet:
+        """Mine ``database``, identical in result to the serial engine."""
+        if self.jobs == 1:
+            serial = self._serial_engine()
+            result = serial.mine(database)
+            self.last_stats = serial.last_stats
+            return result
+        stats = MiningStats()
+        self.last_stats = stats
+        if len(database) == 0:
+            return RecurringPatternSet()
+        params = self.params.resolve(len(database))
+        if self.engine == "rp-growth":
+            return self._mine_growth(database, params, stats)
+        return self._mine_vertical(database, params, stats)
+
+    # ------------------------------------------------------------------
+    # Engine-specific orchestration
+    # ------------------------------------------------------------------
+    def _mine_vertical(self, database, params, stats) -> RecurringPatternSet:
+        serial = self._serial_engine()
+        with span("first_scan"):
+            candidates = serial._first_scan(database, params, stats)
+        if not candidates:
+            return RecurringPatternSet()
+        # Task i is the lattice subtree rooted at candidates[i]; its
+        # point-sequence length is the documented cost proxy.
+        chunks = _partition.plan_chunks(
+            [len(ts_list) for _, ts_list in candidates],
+            max_chunks=self.jobs * self.chunks_per_job,
+        )
+        found: List[RecurringPattern] = []
+        with span("mine") as mine_span:
+            self._run_pool(
+                initializer=_worker.init_vertical_worker,
+                initargs=(
+                    self.engine, params, self.pruning, self.max_length,
+                    candidates,
+                ),
+                chunk_fn=_worker.mine_vertical_chunk,
+                chunks=chunks,
+                found=found,
+                stats=stats,
+                mine_span=mine_span,
+            )
+        return RecurringPatternSet(found)
+
+    def _mine_growth(self, database, params, stats) -> RecurringPatternSet:
+        with span("first_scan"):
+            rp_list = build_rp_list(database, params)
+        stats.candidate_items = len(rp_list.candidates)
+        stats.pruned_items = len(rp_list.entries) - len(rp_list.candidates)
+        if not rp_list.candidates:
+            return RecurringPatternSet()
+        with span("tree_build"):
+            tree, _ = build_rp_tree(
+                database, params, rp_list, item_order=self.item_order
+            )
+        stats.initial_tree_nodes = tree.node_count()
+        found: List[RecurringPattern] = []
+        with span("mine") as mine_span:
+            with span("partition"):
+                tasks = _partition.collect_growth_tasks(
+                    tree, params, found, stats, self.max_length
+                )
+            if tasks:
+                chunks = _partition.plan_chunks(
+                    [_partition.growth_task_size(task) for task in tasks],
+                    max_chunks=self.jobs * self.chunks_per_job,
+                )
+                payload_chunks = [
+                    [tasks[index] for index in chunk] for chunk in chunks
+                ]
+                self._run_pool(
+                    initializer=_worker.init_growth_worker,
+                    initargs=(params, tree.order, self.max_length),
+                    chunk_fn=_worker.mine_growth_chunk,
+                    chunks=payload_chunks,
+                    found=found,
+                    stats=stats,
+                    mine_span=mine_span,
+                )
+        return RecurringPatternSet(found)
+
+    # ------------------------------------------------------------------
+    # Pool plumbing
+    # ------------------------------------------------------------------
+    def _run_pool(
+        self,
+        initializer,
+        initargs: tuple,
+        chunk_fn,
+        chunks: Sequence[object],
+        found: List[RecurringPattern],
+        stats: MiningStats,
+        mine_span: Optional[Span],
+    ) -> None:
+        """Fan ``chunks`` out to a worker pool and merge the results."""
+        workers = min(self.jobs, len(chunks))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=self._context(),
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            futures = [
+                pool.submit(chunk_fn, chunk_id, chunk)
+                for chunk_id, chunk in enumerate(chunks)
+            ]
+            for future in futures:
+                chunk_found, chunk_stats, chunk_spans = future.result()
+                found.extend(chunk_found)
+                stats.merge(chunk_stats)
+                if mine_span is not None:
+                    mine_span.children.extend(
+                        Span.from_dict(record) for record in chunk_spans
+                    )
+
+    def _context(self):
+        context = self.mp_context
+        if context is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = "fork" if "fork" in methods else "spawn"
+        if isinstance(context, str):
+            return multiprocessing.get_context(context)
+        return context
+
+    def _serial_engine(self):
+        if self.engine == "rp-growth":
+            from repro.core.rp_growth import RPGrowth
+
+            return RPGrowth(
+                self.params.per, self.params.min_ps, self.params.min_rec,
+                item_order=self.item_order, max_length=self.max_length,
+            )
+        if self.engine == "rp-eclat":
+            from repro.core.rp_eclat import RPEclat
+
+            return RPEclat(
+                self.params.per, self.params.min_ps, self.params.min_rec,
+                pruning=self.pruning, max_length=self.max_length,
+            )
+        from repro.core.accel import FastRPEclat
+
+        return FastRPEclat(
+            self.params.per, self.params.min_ps, self.params.min_rec
+        )

@@ -1,0 +1,138 @@
+"""Worker-process entry points for the parallel mining layer.
+
+Everything in this module runs inside pool worker processes.  The
+design is shared-nothing: a worker receives its engine configuration
+once through the pool initializer (kept in a module global, which is
+both ``fork``- and ``spawn``-safe because this module is importable by
+name) and each task payload afterwards is small — candidate indices
+for the vertical engines, serialized conditional bases for RP-growth.
+
+Every chunk function returns a ``(patterns, stats, spans)`` triple:
+
+* ``patterns`` — the :class:`RecurringPattern` objects mined by the
+  chunk (picklable value objects);
+* ``stats`` — a fresh :class:`MiningStats` covering only this chunk's
+  work, merged into the parent's counters via
+  :meth:`MiningStats.merge`;
+* ``spans`` — the chunk's span tree as ``Span.as_dict()`` payloads,
+  grafted under the parent's ``mine`` span so ``--profile`` output and
+  ``repro-run/v1`` traces show per-chunk timings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.model import (
+    RecurringPattern,
+    ResolvedParameters,
+)
+from repro.core.rp_growth import RPGrowth, conditional_tree_from_base
+from repro.obs.counters import MiningStats
+from repro.obs.spans import SpanCollector, span
+from repro.parallel.partition import GrowthTask
+from repro.timeseries.events import Item
+
+__all__ = [
+    "init_vertical_worker",
+    "mine_vertical_chunk",
+    "init_growth_worker",
+    "mine_growth_chunk",
+]
+
+#: Per-process engine state installed by the pool initializer.
+_VERTICAL_STATE: Optional[Tuple[str, ResolvedParameters, str, Optional[int], list]] = None
+_GROWTH_STATE: Optional[Tuple[ResolvedParameters, Dict[Item, int], Optional[int]]] = None
+
+
+def init_vertical_worker(
+    engine: str,
+    params: ResolvedParameters,
+    pruning: str,
+    max_length: Optional[int],
+    candidates: list,
+) -> None:
+    """Install the shared vertical-engine state in this worker process.
+
+    ``candidates`` is the full canonical candidate list — every worker
+    holds it because task ``i`` needs ``candidates[i + 1:]`` as its
+    extension set; shipping it once via the initializer instead of per
+    task keeps payloads to bare indices.
+    """
+    global _VERTICAL_STATE
+    _VERTICAL_STATE = (engine, params, pruning, max_length, candidates)
+
+
+def mine_vertical_chunk(
+    chunk_id: int, indices: Sequence[int]
+) -> Tuple[List[RecurringPattern], MiningStats, List[dict]]:
+    """Mine the lattice subtrees rooted at ``indices``.
+
+    Runs the serial engine's ``_grow`` recursion unchanged for each
+    root — ``prefix = (candidates[i][0],)``, extensions
+    ``candidates[i + 1:]`` — so the union over all chunks is exactly
+    the serial search space.
+    """
+    assert _VERTICAL_STATE is not None, "worker initializer did not run"
+    engine, params, pruning, max_length, candidates = _VERTICAL_STATE
+    stats = MiningStats()
+    found: List[RecurringPattern] = []
+    collector = SpanCollector()
+    with collector, span(f"chunk[{chunk_id}]"):
+        if engine == "rp-eclat":
+            from repro.core.rp_eclat import RPEclat
+
+            miner = RPEclat(
+                params.per, params.min_ps, params.min_rec,
+                pruning=pruning, max_length=max_length,
+            )
+        else:
+            from repro.core.accel import FastRPEclat
+
+            miner = FastRPEclat(params.per, params.min_ps, params.min_rec)
+        for index in indices:
+            item, ts_list = candidates[index]
+            miner._grow(
+                (item,), ts_list, candidates[index + 1:],
+                params, found, stats,
+            )
+    return found, stats, [root.as_dict() for root in collector.spans]
+
+
+def init_growth_worker(
+    params: ResolvedParameters,
+    order: Dict[Item, int],
+    max_length: Optional[int],
+) -> None:
+    """Install the shared RP-growth state in this worker process."""
+    global _GROWTH_STATE
+    _GROWTH_STATE = (params, order, max_length)
+
+
+def mine_growth_chunk(
+    chunk_id: int, tasks: Sequence[GrowthTask]
+) -> Tuple[List[RecurringPattern], MiningStats, List[dict]]:
+    """Mine the conditional trees of a chunk of suffix items.
+
+    For each ``(suffix item, base)`` task: rebuild the conditional
+    tree from the serialized base (the shared
+    :func:`~repro.core.rp_growth.conditional_tree_from_base`, identical
+    counters included) and run the serial ``_mine_tree`` recursion on
+    it with ``suffix = (item,)``.
+    """
+    assert _GROWTH_STATE is not None, "worker initializer did not run"
+    params, order, max_length = _GROWTH_STATE
+    stats = MiningStats()
+    found: List[RecurringPattern] = []
+    miner = RPGrowth(
+        params.per, params.min_ps, params.min_rec, max_length=max_length
+    )
+    collector = SpanCollector()
+    with collector, span(f"chunk[{chunk_id}]"):
+        for item, base in tasks:
+            conditional = conditional_tree_from_base(
+                base, order, params, stats
+            )
+            if conditional is not None:
+                miner._mine_tree(conditional, (item,), params, found, stats)
+    return found, stats, [root.as_dict() for root in collector.spans]

@@ -1,0 +1,42 @@
+"""MiningStats merge semantics — the basis of parallel counter parity."""
+
+from repro.obs.counters import MiningStats
+
+
+class TestMerge:
+    def test_merge_adds_every_field(self):
+        left = MiningStats(**{
+            name: index
+            for index, name in enumerate(MiningStats.field_names())
+        })
+        right = MiningStats(**{
+            name: 10 * index
+            for index, name in enumerate(MiningStats.field_names())
+        })
+        result = left.merge(right)
+        assert result is left  # in place, chaining-friendly
+        for index, name in enumerate(MiningStats.field_names()):
+            assert getattr(left, name) == 11 * index
+
+    def test_merge_with_zero_is_identity(self):
+        stats = MiningStats(patterns_found=4, erec_evaluations=9)
+        before = stats.as_dict()
+        stats.merge(MiningStats())
+        assert stats.as_dict() == before
+
+    def test_merged_sums_many_parts(self):
+        parts = [MiningStats(patterns_found=n) for n in (1, 2, 3)]
+        total = MiningStats.merged(parts)
+        assert total.patterns_found == 6
+        assert all(part.patterns_found != 6 for part in parts[:2])
+
+    def test_merged_of_nothing_is_zero(self):
+        assert MiningStats.merged([]).as_dict() == MiningStats().as_dict()
+
+    def test_merge_order_does_not_matter(self):
+        a = MiningStats(candidate_items=2, conditional_trees=5)
+        b = MiningStats(candidate_items=7, tid_list_entries=3)
+        c = MiningStats(patterns_found=1)
+        forward = MiningStats.merged([a, b, c]).as_dict()
+        backward = MiningStats.merged([c, b, a]).as_dict()
+        assert forward == backward

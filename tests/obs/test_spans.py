@@ -124,3 +124,32 @@ class TestCollection:
         assert isinstance(record["seconds"], float)
         assert record["children"][0]["name"] == "inner"
         assert "memory_peak_bytes" not in record
+
+
+class TestFromDict:
+    def test_round_trips_a_nested_tree(self):
+        from repro.obs.spans import Span
+
+        collector = SpanCollector()
+        with collector:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        original = collector.spans[0]
+        rebuilt = Span.from_dict(original.as_dict())
+        assert rebuilt.as_dict() == original.as_dict()
+        assert rebuilt.children[0].name == "inner"
+        assert rebuilt.started == 0.0  # absolute clock is not serialized
+
+    def test_round_trips_memory_peaks(self):
+        from repro.obs.spans import Span
+
+        record = {
+            "name": "mine",
+            "seconds": 0.5,
+            "memory_peak_bytes": 4096,
+            "children": [{"name": "chunk[0]", "seconds": 0.25}],
+        }
+        rebuilt = Span.from_dict(record)
+        assert rebuilt.memory_peak_bytes == 4096
+        assert rebuilt.as_dict() == record

@@ -1,0 +1,123 @@
+"""Unit tests for the partition planner and the RP-growth task sweep."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import MiningParameters
+from repro.core.rp_growth import RPGrowth
+from repro.core.rp_list import build_rp_list
+from repro.core.rp_tree import build_rp_tree
+from repro.datasets import paper_running_example
+from repro.obs.counters import MiningStats
+from repro.parallel import (
+    collect_growth_tasks,
+    growth_task_size,
+    plan_chunks,
+)
+
+
+class TestPlanChunks:
+    def test_empty_sizes_yield_no_chunks(self):
+        assert plan_chunks([], max_chunks=4) == []
+
+    def test_rejects_non_positive_max_chunks(self):
+        with pytest.raises(ValueError):
+            plan_chunks([1, 2], max_chunks=0)
+
+    def test_single_chunk_keeps_everything_together(self):
+        chunks = plan_chunks([3, 1, 2], max_chunks=1)
+        assert len(chunks) == 1
+        assert sorted(chunks[0]) == [0, 1, 2]
+
+    def test_known_lpt_plan(self):
+        # Sizes [1, 8, 2, 4] into 2 bins: 8 alone, the rest together.
+        assert plan_chunks([1, 8, 2, 4], max_chunks=2) == [[1], [3, 2, 0]]
+
+    def test_chunks_ordered_largest_first(self):
+        sizes = [5, 1, 9, 2, 7, 3]
+        chunks = plan_chunks(sizes, max_chunks=3)
+        totals = [sum(sizes[i] for i in chunk) for chunk in chunks]
+        assert totals == sorted(totals, reverse=True)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(min_value=0, max_value=100), max_size=40),
+        max_chunks=st.integers(min_value=1, max_value=12),
+    )
+    def test_plan_is_a_partition(self, sizes, max_chunks):
+        chunks = plan_chunks(sizes, max_chunks)
+        assert len(chunks) <= max_chunks
+        flat = sorted(index for chunk in chunks for index in chunk)
+        assert flat == list(range(len(sizes)))
+        assert all(chunk for chunk in chunks)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=0, max_value=100), max_size=40
+        ),
+        max_chunks=st.integers(min_value=1, max_value=12),
+    )
+    def test_plan_is_deterministic(self, sizes, max_chunks):
+        assert plan_chunks(sizes, max_chunks) == plan_chunks(
+            sizes, max_chunks
+        )
+
+
+class TestCollectGrowthTasks:
+    def _tree(self):
+        database = paper_running_example()
+        params = MiningParameters(per=2, min_ps=3, min_rec=2).resolve(
+            len(database)
+        )
+        rp_list = build_rp_list(database, params)
+        tree, _ = build_rp_tree(database, params, rp_list)
+        return tree, params
+
+    def test_tasks_cover_the_header_candidates(self):
+        tree, params = self._tree()
+        items = list(tree.header_bottom_up())
+        found, stats = [], MiningStats()
+        tasks = collect_growth_tasks(tree, params, found, stats)
+        # Every task's suffix item came from the header, once at most.
+        suffixes = [item for item, _ in tasks]
+        assert len(suffixes) == len(set(suffixes))
+        assert set(suffixes) <= set(items)
+        assert stats.erec_evaluations == len(items)
+
+    def test_top_level_patterns_match_serial_singletons(self):
+        tree, params = self._tree()
+        found, stats = [], MiningStats()
+        collect_growth_tasks(tree, params, found, stats)
+        serial = RPGrowth(per=2, min_ps=3, min_rec=2).mine(
+            paper_running_example()
+        )
+        singletons = {p.items for p in serial if len(p.items) == 1}
+        assert {p.items for p in found} == singletons
+
+    def test_payloads_are_snapshots_not_live_references(self):
+        # collect_growth_tasks mutates the tree (Lemma 3 push-ups) after
+        # serializing each base; a payload that aliased tree nodes would
+        # change under later suffixes.  Freeze copies up front, compare
+        # after the sweep completes.
+        tree, params = self._tree()
+        tasks = collect_growth_tasks(tree, params, [], MiningStats())
+        frozen = [
+            (item, [(list(path), list(ts)) for path, ts in base])
+            for item, base in tasks
+        ]
+        assert tasks == frozen
+
+    def test_max_length_one_yields_no_tasks(self):
+        tree, params = self._tree()
+        found, stats = [], MiningStats()
+        tasks = collect_growth_tasks(
+            tree, params, found, stats, max_length=1
+        )
+        assert tasks == []
+        assert found  # singletons are still reported by the sweep
+
+    def test_task_size_counts_base_timestamps(self):
+        task = ("a", [(["b"], [1.0, 2.0]), (["c", "b"], [3.0])])
+        assert growth_task_size(task) == 3
