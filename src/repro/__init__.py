@@ -41,6 +41,7 @@ from repro.core.targeted import mine_patterns_containing
 from repro.obs import MiningTelemetry, SpanCollector, span
 from repro.parallel import ParallelMiner
 from repro.exceptions import (
+    ChunkFailedError,
     DataFormatError,
     EmptyDatabaseError,
     ParameterError,
@@ -92,4 +93,5 @@ __all__ = [
     "DataFormatError",
     "EmptyDatabaseError",
     "SearchSpaceError",
+    "ChunkFailedError",
 ]

@@ -118,6 +118,8 @@ def sweep_pattern_counts(
     min_recs: Sequence[int],
     engine: str = "rp-growth",
     jobs: int = 1,
+    timeout: Union[float, None] = None,
+    max_retries: int = 2,
 ) -> GridResult:
     """Count recurring patterns over the full parameter grid (Table 5).
 
@@ -125,7 +127,9 @@ def sweep_pattern_counts(
     ablation benches and ``repro-mine bench --trace-out`` can report
     pruning effectiveness without re-mining.  With ``jobs > 1`` every
     cell is mined by the parallel layer (identical counts and
-    counters; see ``docs/performance.md``).
+    counters; see ``docs/performance.md``) under chunk supervision —
+    ``timeout`` / ``max_retries`` are the resilience knobs, and a
+    faulty cell is re-mined serially rather than aborting the sweep.
     """
     result = GridResult(
         dataset=dataset,
@@ -139,7 +143,8 @@ def sweep_pattern_counts(
             for min_rec in min_recs:
                 found, telemetry = mine_recurring_patterns(
                     database, per, min_ps, min_rec, engine=engine,
-                    jobs=jobs, collect_stats=True,
+                    jobs=jobs, timeout=timeout, max_retries=max_retries,
+                    collect_stats=True,
                 )
                 key = (per, min_ps, min_rec)
                 result.cells[key] = float(len(found))
@@ -156,6 +161,8 @@ def sweep_runtime(
     engine: str = "rp-growth",
     repeats: int = 1,
     jobs: int = 1,
+    timeout: Union[float, None] = None,
+    max_retries: int = 2,
 ) -> GridResult:
     """Measure mining wall-clock over the parameter grid (Table 7).
 
@@ -183,7 +190,8 @@ def sweep_runtime(
                     with collector, span("run"):
                         mine_recurring_patterns(
                             database, per, min_ps, min_rec, engine=engine,
-                            jobs=jobs,
+                            jobs=jobs, timeout=timeout,
+                            max_retries=max_retries,
                         )
                     run = collector.roots[0]
                     if run.seconds < best:

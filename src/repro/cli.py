@@ -72,6 +72,24 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         help="worker processes for the pruning engines "
         "(1 = serial, the default; see docs/performance.md)",
     )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk deadline for parallel runs; an expired chunk "
+        "is retried and finally re-mined serially (default: no "
+        "deadline; only meaningful with --jobs > 1)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per failed parallel chunk before the serial "
+        "fallback kicks in (default 2; only meaningful with "
+        "--jobs > 1)",
+    )
 
 
 def _add_profiling_flags(
@@ -362,6 +380,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             min_rec=args.min_rec,
             engine=args.engine,
             jobs=args.jobs,
+            timeout=args.chunk_timeout,
+            max_retries=args.max_retries,
             collect_stats=True,
             trace=args.trace_out,
             track_memory=args.track_memory,
@@ -374,6 +394,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             min_rec=args.min_rec,
             engine=args.engine,
             jobs=args.jobs,
+            timeout=args.chunk_timeout,
+            max_retries=args.max_retries,
         )
     if telemetry is not None:
         telemetry.log(level=logging.DEBUG)
@@ -542,6 +564,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         args.min_recs,
         engine=args.engine,
         jobs=args.jobs,
+        timeout=args.chunk_timeout,
+        max_retries=args.max_retries,
     )
     print(counts.as_table())
     # A trace or profile needs per-cell timings, so those imply the
@@ -556,6 +580,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             args.min_recs,
             engine=args.engine,
             jobs=args.jobs,
+            timeout=args.chunk_timeout,
+            max_retries=args.max_retries,
         )
         print()
         print(runtime.as_table())

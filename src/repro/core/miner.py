@@ -46,6 +46,10 @@ def mine_recurring_patterns(
     engine: str = "rp-growth",
     *,
     jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    fallback: str = "serial",
+    fault_plan=None,
     collect_stats: bool = False,
     trace: Union[str, IO[str], None] = None,
     track_memory: bool = False,
@@ -86,6 +90,23 @@ def mine_recurring_patterns(
         serial run's.  The ``naive`` engine does not support
         ``jobs > 1``.  See ``docs/performance.md`` for when
         parallelism actually pays.
+    timeout:
+        Per-chunk deadline in seconds for parallel runs (``None``
+        disables deadlines).  Ignored when mining serially.
+    max_retries:
+        How many times a failed parallel chunk is retried before the
+        fallback applies (default 2).  Ignored when mining serially.
+    fallback:
+        ``"serial"`` (default) re-mines terminally failed chunks
+        in-process so the call always returns a complete result;
+        ``"raise"`` raises :class:`~repro.exceptions.ChunkFailedError`
+        naming the missing prefixes and carrying the partial pattern
+        set.  See the "Failure handling" section of
+        ``docs/performance.md``.
+    fault_plan:
+        A :class:`~repro.parallel.faults.FaultPlan` injecting
+        deterministic worker failures — testing hook, leave ``None``
+        in production.
     collect_stats:
         Also return a :class:`~repro.obs.report.MiningTelemetry` —
         phase spans, the engine's counters, total wall-clock — as the
@@ -127,10 +148,18 @@ def mine_recurring_patterns(
             f"unknown engine {engine!r}; expected one of {ENGINES}"
         )
     jobs = _resolve_jobs(jobs, engine)
+    resilience = {
+        "timeout": timeout,
+        "max_retries": max_retries,
+        "fallback": fallback,
+        "fault_plan": fault_plan,
+    }
     if not (collect_stats or trace is not None):
         with span("transform"):
             database = _as_database(data)
-        result, _ = _run_engine(database, per, min_ps, min_rec, engine, jobs)
+        result, _, _ = _run_engine(
+            database, per, min_ps, min_rec, engine, jobs, resilience
+        )
         return result
 
     collector = SpanCollector(track_memory=track_memory)
@@ -138,13 +167,20 @@ def mine_recurring_patterns(
     with collector:
         with span("transform"):
             database = _as_database(data)
-        result, stats = _run_engine(
-            database, per, min_ps, min_rec, engine, jobs
+        result, stats, fault_events = _run_engine(
+            database, per, min_ps, min_rec, engine, jobs, resilience
         )
     seconds = time.perf_counter() - started
     params: dict = {"per": per, "min_ps": min_ps, "min_rec": min_rec}
     if jobs > 1:
         params["jobs"] = jobs
+    extra: dict = {}
+    if fault_events:
+        extra["faults"] = {
+            "chunks_retried": stats.chunks_retried,
+            "chunks_fallback": stats.chunks_fallback,
+            "events": [event.as_dict() for event in fault_events],
+        }
     telemetry = MiningTelemetry(
         engine=engine,
         params=params,
@@ -154,6 +190,7 @@ def mine_recurring_patterns(
         seconds=seconds,
         memory_peak_bytes=collector.memory_peak_bytes,
         dataset=dataset,
+        extra=extra,
     )
     if trace is not None:
         with TraceWriter(trace) as writer:
@@ -184,33 +221,43 @@ def _run_engine(
     min_rec: int,
     engine: str,
     jobs: int = 1,
-) -> Tuple[RecurringPatternSet, MiningStats]:
-    """Dispatch to an engine, returning the result and its counters."""
+    resilience: Optional[dict] = None,
+) -> Tuple[RecurringPatternSet, MiningStats, list]:
+    """Dispatch to an engine: result, counters and the fault log.
+
+    The fault log (third element) is always empty for serial runs and
+    for fault-free parallel runs; ``resilience`` carries the
+    supervision knobs (``timeout`` / ``max_retries`` / ``fallback`` /
+    ``fault_plan``) and only applies when ``jobs > 1``.
+    """
     if jobs > 1:
         from repro.parallel import ParallelMiner
 
-        miner = ParallelMiner(per, min_ps, min_rec, engine=engine, jobs=jobs)
+        miner = ParallelMiner(
+            per, min_ps, min_rec, engine=engine, jobs=jobs,
+            **(resilience or {}),
+        )
         result = miner.mine(database)
-        return result, miner.last_stats or MiningStats()
+        return result, miner.last_stats or MiningStats(), miner.last_faults
     if engine == "rp-growth":
         miner = RPGrowth(per, min_ps, min_rec)
         result = miner.mine(database)
-        return result, miner.last_stats or MiningStats()
+        return result, miner.last_stats or MiningStats(), []
     if engine == "rp-eclat":
         miner = RPEclat(per, min_ps, min_rec)
         result = miner.mine(database)
-        return result, miner.last_stats or MiningStats()
+        return result, miner.last_stats or MiningStats(), []
     if engine == "rp-eclat-np":
         from repro.core.accel import FastRPEclat
 
         miner = FastRPEclat(per, min_ps, min_rec)
         result = miner.mine(database)
-        return result, miner.last_stats or MiningStats()
+        return result, miner.last_stats or MiningStats(), []
     stats = MiningStats()
     result = mine_recurring_patterns_naive(
         database, per, min_ps, min_rec, stats=stats
     )
-    return result, stats
+    return result, stats, []
 
 
 def _as_database(data: Source) -> TransactionalDatabase:

@@ -15,6 +15,7 @@ __all__ = [
     "DataFormatError",
     "EmptyDatabaseError",
     "SearchSpaceError",
+    "ChunkFailedError",
 ]
 
 
@@ -50,3 +51,42 @@ class SearchSpaceError(ReproError, RuntimeError):
     its configured limit; the purpose of that miner is ground-truth
     verification on small inputs, not production mining.
     """
+
+
+class ChunkFailedError(ReproError, RuntimeError):
+    """A parallel mining chunk failed after exhausting its retries.
+
+    Raised by the resilience layer (``repro.parallel.resilience``) in
+    ``fallback="raise"`` mode instead of surfacing a bare
+    ``BrokenProcessPool``: it names exactly which search-space prefixes
+    were lost and carries everything that *was* mined, so callers can
+    degrade gracefully.
+
+    Attributes
+    ----------
+    failed_prefixes:
+        The search-space prefixes (first items for the vertical
+        engines, suffix items for RP-growth) whose chunks could not be
+        mined, as strings.
+    partial:
+        A ``RecurringPatternSet`` holding every pattern recovered from
+        the chunks that did succeed (plus, for RP-growth, the
+        1-extension patterns of the serial header sweep).  The set is
+        complete for every prefix *not* listed in ``failed_prefixes``.
+    events:
+        The ``FaultEvent`` log of the run — one entry per retry and
+        per exhausted chunk, in occurrence order.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        failed_prefixes=(),
+        partial=None,
+        events=(),
+    ):
+        super().__init__(message)
+        self.failed_prefixes = tuple(failed_prefixes)
+        self.partial = partial
+        self.events = tuple(events)

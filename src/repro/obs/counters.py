@@ -35,6 +35,16 @@ paper's quantities):
     (vertical engines' analogue of tree size; 0 for RP-growth, whose
     ts-lists live in the tree and are counted by
     ``initial_tree_nodes``).
+``chunks_retried``
+    Parallel chunks re-submitted after an attributed failure (worker
+    crash, deadline expiry, poisoned result).  Always 0 for serial
+    runs and for fault-free parallel runs.
+``chunks_fallback``
+    Parallel chunks whose retries were exhausted and that were
+    re-mined in-process by the serial engine (``fallback="serial"``).
+    The two resilience counters are bookkeeping about the *run*, not
+    the *mining*: they are excluded from cross-engine counter-parity
+    comparisons.
 """
 
 from __future__ import annotations
@@ -78,6 +88,8 @@ class MiningStats:
     patterns_found: int = 0
     conditional_trees: int = 0
     tid_list_entries: int = 0
+    chunks_retried: int = 0
+    chunks_fallback: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view, in field order (for reports and JSON)."""

@@ -185,6 +185,18 @@ def validate_run_record(record: Mapping[str, object]) -> None:
     for name in MiningStats.field_names():
         if name not in counters:  # type: ignore[operator]
             raise ValueError(f"run record counters missing {name!r}")
+    if "faults" in record:
+        faults = record["faults"]
+        if not isinstance(faults, dict):
+            raise ValueError(
+                f"run record 'faults' must be dict, "
+                f"got {type(faults).__name__}"
+            )
+        for key in ("chunks_retried", "chunks_fallback", "events"):
+            if key not in faults:
+                raise ValueError(f"run record faults missing {key!r}")
+        if not isinstance(faults["events"], list):
+            raise ValueError("run record faults 'events' must be a list")
 
 
 class TraceWriter:

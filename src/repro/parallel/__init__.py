@@ -9,17 +9,32 @@ unchanged inside pool workers (:mod:`repro.parallel.worker`) and merges
 patterns, counters and spans back together
 (:class:`~repro.parallel.miner.ParallelMiner`).
 
+Chunk execution is fault-tolerant: :mod:`repro.parallel.resilience`
+supervises the pool (per-chunk retries with backoff, deadlines,
+in-process serial fallback or :class:`~repro.exceptions.ChunkFailedError`)
+and :mod:`repro.parallel.faults` provides the deterministic
+fault-injection hook (:class:`~repro.parallel.faults.FaultPlan`) that
+makes those failure paths testable.
+
 Most users reach it through ``mine_recurring_patterns(..., jobs=N)``
 or the CLI's ``--jobs``; the pieces are public for callers that need
 pool-lifecycle control.  ``jobs=1`` is always the serial engine,
 byte-identical to not using this package at all.
 """
 
+from repro.exceptions import ChunkFailedError
+from repro.parallel.faults import FAULT_KINDS, FaultPlan, FaultSpec
 from repro.parallel.miner import PARALLEL_ENGINES, ParallelMiner, default_jobs
 from repro.parallel.partition import (
     collect_growth_tasks,
     growth_task_size,
     plan_chunks,
+)
+from repro.parallel.resilience import (
+    FALLBACK_MODES,
+    FaultEvent,
+    RetryPolicy,
+    supervise,
 )
 
 __all__ = [
@@ -29,4 +44,12 @@ __all__ = [
     "collect_growth_tasks",
     "growth_task_size",
     "plan_chunks",
+    "FAULT_KINDS",
+    "FALLBACK_MODES",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultEvent",
+    "RetryPolicy",
+    "supervise",
+    "ChunkFailedError",
 ]

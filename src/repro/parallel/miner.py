@@ -16,8 +16,14 @@ workers' patterns, counters and spans back into one result:
 * worker span trees are grafted under the parent's ``mine`` span, so
   ``--profile`` tables and ``repro-run/v1`` traces stay coherent.
 
+Chunk execution is supervised by :mod:`repro.parallel.resilience`: a
+crashed, hung or misbehaving worker costs a retry (and, after
+``max_retries``, an in-process serial re-mine or a
+:class:`~repro.exceptions.ChunkFailedError`), never the whole run.
+
 See ``docs/performance.md`` for the partitioning scheme, the chunking
-policy and when ``jobs > 1`` actually helps.
+policy, when ``jobs > 1`` actually helps, and the "Failure handling"
+section for the retry/fallback semantics.
 """
 
 from __future__ import annotations
@@ -35,11 +41,18 @@ from repro.core.model import (
 )
 from repro.core.rp_list import build_rp_list
 from repro.core.rp_tree import build_rp_tree
-from repro.exceptions import ParameterError
+from repro.exceptions import ChunkFailedError, ParameterError
 from repro.obs.counters import MiningStats
 from repro.obs.spans import Span, span
 from repro.parallel import partition as _partition
 from repro.parallel import worker as _worker
+from repro.parallel.faults import FaultPlan
+from repro.parallel.resilience import (
+    FALLBACK_MODES,
+    FaultEvent,
+    RetryPolicy,
+    supervise,
+)
 from repro.timeseries.database import TransactionalDatabase
 
 __all__ = ["ParallelMiner", "PARALLEL_ENGINES", "default_jobs"]
@@ -82,6 +95,33 @@ class ParallelMiner:
     pruning, max_length, item_order:
         Forwarded to the underlying engine (``pruning`` to RP-eclat,
         ``item_order`` to RP-growth's tree build).
+    timeout:
+        Per-chunk deadline in seconds (measured from submission to the
+        pool).  ``None`` (default) disables deadlines.  An expired
+        chunk is treated like a crashed one: retried, then handled by
+        ``fallback``.
+    max_retries:
+        Failed executions a chunk may accumulate before ``fallback``
+        applies (default 2; the first execution is not a retry).
+    fallback:
+        What to do with a chunk whose retries are exhausted:
+        ``"serial"`` (default) re-mines it in-process with the serial
+        engine so the run always completes; ``"raise"`` raises
+        :class:`~repro.exceptions.ChunkFailedError` naming the missing
+        prefixes and carrying the partial pattern set.
+    retry_backoff:
+        Base delay in seconds before the first retry of a chunk
+        (doubles per retry, deterministic jitter added; ``0`` retries
+        immediately).
+    fault_plan:
+        A :class:`~repro.parallel.faults.FaultPlan` injected into the
+        pool workers — deterministic failure for tests.  ``None``
+        (default, production) injects nothing.
+    supervised:
+        ``False`` bypasses the resilience layer entirely (raw PR-2
+        fan-out: one ``future.result()`` per chunk, a worker crash
+        aborts the run).  Exists so the scaling bench can measure
+        supervision overhead; production code should leave it ``True``.
 
     Examples
     --------
@@ -104,6 +144,12 @@ class ParallelMiner:
         pruning: str = "erec",
         max_length: Optional[int] = None,
         item_order: str = "support-desc",
+        timeout: Optional[float] = None,
+        max_retries: int = 2,
+        fallback: str = "serial",
+        retry_backoff: float = 0.05,
+        fault_plan: Optional[FaultPlan] = None,
+        supervised: bool = True,
     ):
         if engine not in PARALLEL_ENGINES:
             raise ParameterError(
@@ -118,6 +164,10 @@ class ParallelMiner:
             raise ParameterError(
                 f"chunks_per_job must be >= 1, got {chunks_per_job!r}"
             )
+        if fallback not in FALLBACK_MODES:
+            raise ParameterError(
+                f"fallback must be one of {FALLBACK_MODES}, got {fallback!r}"
+            )
         self.params = MiningParameters(per=per, min_ps=min_ps, min_rec=min_rec)
         self.engine = engine
         self.jobs = jobs
@@ -126,13 +176,25 @@ class ParallelMiner:
         self.pruning = pruning
         self.max_length = max_length
         self.item_order = item_order
+        # Validates timeout / max_retries / backoff eagerly.
+        self.retry_policy = RetryPolicy(
+            timeout=timeout, max_retries=max_retries, backoff=retry_backoff
+        )
+        self.fallback = fallback
+        self.fault_plan = fault_plan
+        self.supervised = supervised
         self.last_stats: Optional[MiningStats] = None
+        #: Fault log of the most recent ``mine()`` call — one
+        #: :class:`~repro.parallel.resilience.FaultEvent` per retry or
+        #: fallback, in occurrence order.  Empty for clean runs.
+        self.last_faults: List[FaultEvent] = []
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def mine(self, database: TransactionalDatabase) -> RecurringPatternSet:
         """Mine ``database``, identical in result to the serial engine."""
+        self.last_faults = []
         if self.jobs == 1:
             serial = self._serial_engine()
             result = serial.mine(database)
@@ -175,6 +237,10 @@ class ParallelMiner:
                 found=found,
                 stats=stats,
                 mine_span=mine_span,
+                chunk_prefixes=[
+                    [str(candidates[index][0]) for index in chunk]
+                    for chunk in chunks
+                ],
             )
         return RecurringPatternSet(found)
 
@@ -212,6 +278,10 @@ class ParallelMiner:
                     found=found,
                     stats=stats,
                     mine_span=mine_span,
+                    chunk_prefixes=[
+                        [str(item) for item, _ in chunk]
+                        for chunk in payload_chunks
+                    ],
                 )
         return RecurringPatternSet(found)
 
@@ -227,9 +297,79 @@ class ParallelMiner:
         found: List[RecurringPattern],
         stats: MiningStats,
         mine_span: Optional[Span],
+        chunk_prefixes: Sequence[Sequence[str]],
     ) -> None:
-        """Fan ``chunks`` out to a worker pool and merge the results."""
+        """Fan ``chunks`` out to a supervised pool and merge the results.
+
+        ``chunk_prefixes[i]`` names the search-space prefixes chunk
+        ``i`` covers (first items for the vertical engines, suffix
+        items for RP-growth) — the vocabulary of
+        :class:`~repro.exceptions.ChunkFailedError`.
+        """
         workers = min(self.jobs, len(chunks))
+        if not self.supervised:
+            self._run_pool_unsupervised(
+                initializer, initargs, chunk_fn, chunks, found, stats,
+                mine_span, workers,
+            )
+            return
+        results, events, failed = supervise(
+            workers=workers,
+            mp_context=self._context(),
+            initializer=initializer,
+            initargs=initargs,
+            chunk_fn=chunk_fn,
+            payloads=chunks,
+            policy=self.retry_policy,
+            fallback=self.fallback,
+            fault_plan=self.fault_plan,
+        )
+        self.last_faults = list(events)
+        stats.chunks_retried += sum(
+            1 for event in events if event.action == "retry"
+        )
+        stats.chunks_fallback += sum(
+            1 for event in events if event.action == "fallback-serial"
+        )
+        for triple in results:
+            if triple is None:  # terminally failed, fallback="raise"
+                continue
+            chunk_found, chunk_stats, chunk_spans = triple
+            found.extend(chunk_found)
+            stats.merge(chunk_stats)
+            if mine_span is not None:
+                mine_span.children.extend(
+                    Span.from_dict(record) for record in chunk_spans
+                )
+        if failed:
+            prefixes = [
+                prefix
+                for chunk_id in sorted(failed)
+                for prefix in chunk_prefixes[chunk_id]
+            ]
+            raise ChunkFailedError(
+                f"{len(failed)} of {len(chunks)} parallel chunk(s) failed "
+                f"after {self.retry_policy.max_retries} retries; missing "
+                f"search-space prefixes: {', '.join(prefixes)}",
+                failed_prefixes=prefixes,
+                partial=RecurringPatternSet(found),
+                events=events,
+            )
+
+    def _run_pool_unsupervised(
+        self,
+        initializer,
+        initargs: tuple,
+        chunk_fn,
+        chunks: Sequence[object],
+        found: List[RecurringPattern],
+        stats: MiningStats,
+        mine_span: Optional[Span],
+        workers: int,
+    ) -> None:
+        """PR 2's raw fan-out, kept as the bench baseline for measuring
+        supervision overhead (``supervised=False``).  A worker failure
+        here surfaces as a bare ``BrokenProcessPool``."""
         with ProcessPoolExecutor(
             max_workers=workers,
             mp_context=self._context(),

@@ -1,0 +1,89 @@
+"""Property tests for the ``Erec`` pruning bound (Section 4.1).
+
+The soundness of every pruning engine rests on two lemma-level facts:
+
+* **anti-monotonicity of the bound** — for itemsets ``X ⊂ Y``,
+  ``Erec(X) >= Erec(Y)``.  ``TS^Y ⊆ TS^X`` (a superset occurs in fewer
+  transactions), and removing points from a point sequence only splits
+  or shortens its periodic runs, and
+  ``floor(ps1/m) + floor(ps2/m) <= floor((ps1+ps2+...)/m)`` for any
+  split of a run, so the sum of per-run floors cannot grow;
+* **the bound bounds** — ``recurrence(X) <= Erec(X)``, because every
+  interesting run of length ``ps >= min_ps`` contributes
+  ``floor(ps/min_ps) >= 1`` to the estimate.
+
+Recurrence itself is *not* anti-monotone (the paper's Example 10) —
+that is exactly why the engines prune on ``Erec`` instead — so these
+properties are the whole story of why pruning is lossless.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import estimated_recurrence, recurrence
+from tests.conftest import mining_parameters, point_sequences, small_databases
+
+
+@given(
+    db=small_databases(),
+    params=mining_parameters(),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=150, deadline=None)
+def test_erec_anti_monotone_over_itemsets(db, params, seed):
+    """X ⊂ Y implies Erec(X) >= Erec(Y), for itemsets drawn from the
+    database's own alphabet."""
+    per, min_ps, _ = params
+    items = sorted({item for tx in db for item in tx.items})
+    if len(items) < 2:
+        return
+    rng = random.Random(seed)
+    superset = rng.sample(items, rng.randint(2, len(items)))
+    subset = rng.sample(superset, rng.randint(1, len(superset) - 1))
+    erec_sub = estimated_recurrence(db.timestamps_of(subset), per, min_ps)
+    erec_super = estimated_recurrence(db.timestamps_of(superset), per, min_ps)
+    assert erec_sub >= erec_super, (subset, superset)
+
+
+@given(
+    timestamps=point_sequences(),
+    per=st.integers(min_value=1, max_value=8),
+    min_ps=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=200, deadline=None)
+def test_erec_monotone_over_point_subsequences(timestamps, per, min_ps, seed):
+    """Removing points never increases Erec — the point-sequence form
+    of the same lemma (TS^Y is always a subsequence of TS^X)."""
+    rng = random.Random(seed)
+    subsequence = [ts for ts in timestamps if rng.random() < 0.6]
+    assert estimated_recurrence(subsequence, per, min_ps) <= (
+        estimated_recurrence(timestamps, per, min_ps)
+    )
+
+
+@given(
+    timestamps=point_sequences(),
+    per=st.integers(min_value=1, max_value=8),
+    min_ps=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=200, deadline=None)
+def test_recurrence_never_exceeds_erec(timestamps, per, min_ps):
+    """Rec(X) <= Erec(X): the bound is actually an upper bound."""
+    assert recurrence(timestamps, per, min_ps) <= (
+        estimated_recurrence(timestamps, per, min_ps)
+    )
+
+
+@given(db=small_databases(), params=mining_parameters())
+@settings(max_examples=100, deadline=None)
+def test_recurrence_never_exceeds_erec_on_database_sequences(db, params):
+    """The same inequality on every single-item point sequence an
+    actual mine would evaluate."""
+    per, min_ps, _ = params
+    for item, timestamps in db.item_timestamps().items():
+        assert recurrence(timestamps, per, min_ps) <= (
+            estimated_recurrence(timestamps, per, min_ps)
+        ), item

@@ -1,4 +1,5 @@
-"""The ``--jobs`` flag across CLI subcommands."""
+"""The ``--jobs`` / ``--chunk-timeout`` / ``--max-retries`` flags
+across CLI subcommands."""
 
 import pytest
 
@@ -53,6 +54,39 @@ class TestMineJobs:
         captured = capsys.readouterr()
         assert code == 0
         assert "--jobs ignored" in captured.err
+
+
+class TestResilienceFlags:
+    def test_mine_accepts_chunk_timeout_and_max_retries(
+        self, example_file, capsys
+    ):
+        code = main([
+            "mine", "--input", example_file, *BASE, "--jobs", "2",
+            "--chunk-timeout", "30", "--max-retries", "1",
+        ])
+        assert code == 0
+        assert "8 recurring patterns" in capsys.readouterr().out
+
+    def test_resilience_flags_are_serial_noops(self, example_file, capsys):
+        """With --jobs 1 the flags parse but change nothing."""
+        assert main(["mine", "--input", example_file, *BASE]) == 0
+        serial_out = capsys.readouterr().out
+        code = main([
+            "mine", "--input", example_file, *BASE,
+            "--chunk-timeout", "5", "--max-retries", "0",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_bench_accepts_resilience_flags(self, capsys):
+        code = main([
+            "bench", "--dataset", "quest", "--scale", "0.005",
+            "--pers", "50", "--min-ps", "0.01", "--min-recs", "1",
+            "--jobs", "2", "--chunk-timeout", "60", "--max-retries", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "quest: count" in out
 
 
 class TestBaselineJobs:

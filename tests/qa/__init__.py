@@ -1,0 +1,1 @@
+"""QA suites: randomized cross-engine differential testing."""
