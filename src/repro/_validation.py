@@ -19,6 +19,7 @@ __all__ = [
     "check_positive",
     "check_non_negative",
     "check_count",
+    "check_count_threshold",
     "resolve_count_threshold",
 ]
 
@@ -48,6 +49,30 @@ def check_count(value: int, name: str, minimum: int = 1) -> int:
     return value
 
 
+def check_count_threshold(value: Number, name: str) -> Number:
+    """Validate a count-or-fraction threshold *without* resolving it.
+
+    Accepts exactly what :func:`resolve_count_threshold` accepts — an
+    integer count >= 1 or a float fraction in ``(0, 1]`` — and raises
+    the same error messages, but needs no database size.  Entry points
+    use this to reject a bad threshold eagerly, before any transform
+    or scan work happens, instead of failing mid-mine at resolve time.
+    """
+    if isinstance(value, bool):
+        raise ParameterError(f"{name} must be a count or fraction, got {value!r}")
+    if isinstance(value, int):
+        return check_count(value, name)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ParameterError(f"{name} must be finite, got {value!r}")
+        if not 0 < value <= 1:
+            raise ParameterError(
+                f"fractional {name} must be in (0, 1], got {value!r}"
+            )
+        return value
+    raise ParameterError(f"{name} must be an int or float, got {value!r}")
+
+
 def resolve_count_threshold(value: Number, name: str, total: int) -> int:
     """Resolve a support-like threshold to an absolute count.
 
@@ -61,19 +86,10 @@ def resolve_count_threshold(value: Number, name: str, total: int) -> int:
       fraction), but never below 1;
     * any other value raises :class:`ParameterError`.
     """
-    if isinstance(value, bool):
-        raise ParameterError(f"{name} must be a count or fraction, got {value!r}")
+    value = check_count_threshold(value, name)
     if isinstance(value, int):
-        return check_count(value, name)
-    if isinstance(value, float):
-        if not math.isfinite(value):
-            raise ParameterError(f"{name} must be finite, got {value!r}")
-        if not 0 < value <= 1:
-            raise ParameterError(
-                f"fractional {name} must be in (0, 1], got {value!r}"
-            )
-        return max(1, math.ceil(value * total))
-    raise ParameterError(f"{name} must be an int or float, got {value!r}")
+        return value
+    return max(1, math.ceil(value * total))
 
 
 def _check_finite_number(value: Number, name: str) -> None:

@@ -20,7 +20,7 @@ import time
 from typing import IO, Optional, Tuple, Union
 
 from repro._validation import Number
-from repro.core.model import RecurringPatternSet
+from repro.core.model import MiningParameters, RecurringPatternSet
 from repro.core.naive import mine_recurring_patterns_naive
 from repro.core.rp_eclat import RPEclat
 from repro.core.rp_growth import RPGrowth
@@ -147,6 +147,12 @@ def mine_recurring_patterns(
         raise ParameterError(
             f"unknown engine {engine!r}; expected one of {ENGINES}"
         )
+    # Validate the threshold triple eagerly — the engines would reject
+    # the same values, but only after the transform span has run (and,
+    # for parallel runs, potentially inside a worker).  Constructing
+    # MiningParameters here means every bad parameter fails before any
+    # work starts, with the shared _validation.py messages.
+    MiningParameters(per=per, min_ps=min_ps, min_rec=min_rec)
     jobs = _resolve_jobs(jobs, engine)
     resilience = {
         "timeout": timeout,

@@ -25,6 +25,7 @@ from typing import (
 from repro._validation import (
     Number,
     check_count,
+    check_count_threshold,
     check_positive,
     resolve_count_threshold,
 )
@@ -256,10 +257,10 @@ class MiningParameters:
     def __post_init__(self) -> None:
         check_positive(self.per, "per")
         check_count(self.min_rec, "min_rec")
-        if isinstance(self.min_ps, int) and not isinstance(self.min_ps, bool):
-            check_count(self.min_ps, "min_ps")
-        elif not isinstance(self.min_ps, float):
-            raise ValueError(f"min_ps must be int or float, got {self.min_ps!r}")
+        # Full count-or-fraction validation up front: a float outside
+        # (0, 1] used to slip through construction and only fail at
+        # resolve time, midway through a mine() call.
+        check_count_threshold(self.min_ps, "min_ps")
 
     def resolve(self, database_size: int) -> "ResolvedParameters":
         """Fix fractional ``min_ps`` against a concrete database size."""

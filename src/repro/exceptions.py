@@ -16,6 +16,7 @@ __all__ = [
     "EmptyDatabaseError",
     "SearchSpaceError",
     "ChunkFailedError",
+    "QAGateError",
 ]
 
 
@@ -90,3 +91,22 @@ class ChunkFailedError(ReproError, RuntimeError):
         self.failed_prefixes = tuple(failed_prefixes)
         self.partial = partial
         self.events = tuple(events)
+
+
+class QAGateError(ReproError, RuntimeError):
+    """The conformance gate (``repro.qa``) found violations.
+
+    Raised by callers that run the gate programmatically and want a
+    failure to be an exception rather than an exit code.  Carries the
+    full :class:`~repro.qa.gate.QAReport`, whose
+    ``failure_reports()`` include a minimized reproducer per finding.
+
+    Attributes
+    ----------
+    report:
+        The :class:`~repro.qa.gate.QAReport` of the failed run.
+    """
+
+    def __init__(self, message: str, *, report=None):
+        super().__init__(message)
+        self.report = report

@@ -38,11 +38,13 @@ from repro.obs.counters import MiningStats
 from repro.obs.spans import Span, SpanCollector, span
 
 __all__ = [
+    "QA_SCHEMA",
     "RUN_SCHEMA",
     "MiningTelemetry",
     "TraceWriter",
     "profile_call",
     "read_trace",
+    "validate_qa_record",
     "validate_run_record",
 ]
 
@@ -50,6 +52,23 @@ logger = logging.getLogger("repro.obs")
 
 #: Schema tag carried by every run record.
 RUN_SCHEMA = "repro-run/v1"
+
+#: Schema tag carried by every ``repro qa`` gate report.
+QA_SCHEMA = "repro-qa/v1"
+
+#: Top-level keys every ``repro-qa/v1`` record must carry, with types.
+_QA_REQUIRED: Tuple[Tuple[str, type], ...] = (
+    ("schema", str),
+    ("kind", str),
+    ("passed", bool),
+    ("seconds", float),
+    ("budget_seconds", float),
+    ("seed", int),
+    ("skipped", list),
+    ("relations", dict),
+    ("golden", dict),
+    ("differential", dict),
+)
 
 #: Keys every ``repro-run/v1`` record must carry, with their types.
 _RUN_REQUIRED: Tuple[Tuple[str, type], ...] = (
@@ -197,6 +216,78 @@ def validate_run_record(record: Mapping[str, object]) -> None:
                 raise ValueError(f"run record faults missing {key!r}")
         if not isinstance(faults["events"], list):
             raise ValueError("run record faults 'events' must be a list")
+
+
+def validate_qa_record(record: Mapping[str, object]) -> None:
+    """Raise ``ValueError`` unless ``record`` is a valid qa record.
+
+    The ``repro-qa/v1`` schema is the machine-readable output of the
+    ``repro qa`` conformance gate (:mod:`repro.qa.gate`); CI consumes
+    it the way benchmarks consume ``repro-run/v1`` records.  See
+    ``docs/observability.md`` for the field-by-field contract.
+
+    Examples
+    --------
+    >>> validate_qa_record({"schema": "bogus"})
+    Traceback (most recent call last):
+        ...
+    ValueError: qa record schema 'bogus' != 'repro-qa/v1'
+    """
+    schema = record.get("schema")
+    if schema != QA_SCHEMA:
+        raise ValueError(f"qa record schema {schema!r} != {QA_SCHEMA!r}")
+    for key, expected in _QA_REQUIRED:
+        if key not in record:
+            raise ValueError(f"qa record missing required key {key!r}")
+        value = record[key]
+        if expected is float and isinstance(value, int) \
+                and not isinstance(value, bool):
+            value = float(value)
+        if expected is bool:
+            if not isinstance(value, bool):
+                raise ValueError(
+                    f"qa record key {key!r} must be bool, "
+                    f"got {type(value).__name__}"
+                )
+            continue
+        if not isinstance(value, expected) or (
+            expected is int and isinstance(value, bool)
+        ):
+            raise ValueError(
+                f"qa record key {key!r} must be {expected.__name__}, "
+                f"got {type(value).__name__}"
+            )
+    if record["kind"] != "qa":
+        raise ValueError(f"qa record kind {record['kind']!r} != 'qa'")
+    relations = record["relations"]
+    for key in ("matrix_complete", "checks", "violations"):
+        if key not in relations:  # type: ignore[operator]
+            raise ValueError(f"qa record relations missing {key!r}")
+    if not isinstance(relations["checks"], list):  # type: ignore[index]
+        raise ValueError("qa record relations 'checks' must be a list")
+    if not isinstance(relations["violations"], list):  # type: ignore[index]
+        raise ValueError("qa record relations 'violations' must be a list")
+    for check in relations["checks"]:  # type: ignore[index]
+        for key in ("relation", "engine", "jobs", "cases", "violations"):
+            if key not in check:
+                raise ValueError(
+                    f"qa record relation check missing {key!r}"
+                )
+    golden = record["golden"]
+    if "checks" not in golden:  # type: ignore[operator]
+        raise ValueError("qa record golden missing 'checks'")
+    if not isinstance(golden["checks"], list):  # type: ignore[index]
+        raise ValueError("qa record golden 'checks' must be a list")
+    for check in golden["checks"]:  # type: ignore[index]
+        for key in ("name", "engine", "status"):
+            if key not in check:
+                raise ValueError(f"qa record golden check missing {key!r}")
+    differential = record["differential"]
+    for key in ("cases", "checks", "failures"):
+        if key not in differential:  # type: ignore[operator]
+            raise ValueError(f"qa record differential missing {key!r}")
+    if not isinstance(differential["failures"], list):  # type: ignore[index]
+        raise ValueError("qa record differential 'failures' must be a list")
 
 
 class TraceWriter:

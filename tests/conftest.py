@@ -16,6 +16,21 @@ from repro.datasets import (
 from repro.timeseries.database import TransactionalDatabase
 
 
+def pytest_addoption(parser):
+    """``--update-golden``: rewrite the qa golden snapshots.
+
+    Declared here (the root conftest) so the option exists no matter
+    which test subdirectory is run; only ``tests/qa/test_golden.py``
+    consumes it.  See docs/testing.md for the refresh workflow.
+    """
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the qa golden snapshots instead of checking them",
+    )
+
+
 @pytest.fixture
 def running_example() -> TransactionalDatabase:
     """The paper's Table 1 database."""

@@ -1,0 +1,160 @@
+"""Argument validation of the public mining façade.
+
+``mine_recurring_patterns`` now validates the full threshold triple
+*eagerly* — before the transform span runs and before any parallel
+worker spawns — by constructing ``MiningParameters`` up front.  These
+tests pin the rejection behaviour and the exact shared messages from
+``repro._validation`` for every class of bad argument.
+"""
+
+import math
+
+import pytest
+
+from repro.core.miner import mine_recurring_patterns
+from repro.core.model import MiningParameters
+from repro.datasets import paper_running_example
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def database():
+    return paper_running_example()
+
+
+# ----------------------------------------------------------------------
+# engine and jobs
+# ----------------------------------------------------------------------
+def test_unknown_engine_rejected(database):
+    with pytest.raises(ParameterError, match="unknown engine 'bogus'"):
+        mine_recurring_patterns(database, 2, 3, engine="bogus")
+
+
+@pytest.mark.parametrize("jobs", [0, -1, 1.5, True, "2"])
+def test_non_positive_or_non_int_jobs_rejected(database, jobs):
+    with pytest.raises(ParameterError, match="jobs must be a positive int"):
+        mine_recurring_patterns(database, 2, 3, jobs=jobs)
+
+
+def test_naive_engine_rejects_parallelism(database):
+    with pytest.raises(
+        ParameterError, match="'naive' does not support jobs > 1"
+    ):
+        mine_recurring_patterns(database, 2, 3, engine="naive", jobs=2)
+
+
+def test_jobs_none_and_one_are_serial(database):
+    serial = mine_recurring_patterns(database, 2, 3, min_rec=2)
+    assert mine_recurring_patterns(database, 2, 3, min_rec=2, jobs=1) == serial
+    assert (
+        mine_recurring_patterns(database, 2, 3, min_rec=2, jobs=None)
+        == serial
+    )
+
+
+# ----------------------------------------------------------------------
+# per
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("per", [0, -1, -0.5])
+def test_non_positive_per_rejected(database, per):
+    with pytest.raises(ParameterError, match="per must be > 0"):
+        mine_recurring_patterns(database, per, 3)
+
+
+@pytest.mark.parametrize("per", [float("nan"), float("inf")])
+def test_non_finite_per_rejected(database, per):
+    with pytest.raises(ParameterError, match="per must be finite"):
+        mine_recurring_patterns(database, per, 3)
+
+
+@pytest.mark.parametrize("per", ["2", None, True])
+def test_non_numeric_per_rejected(database, per):
+    with pytest.raises(ParameterError, match="per must be a number"):
+        mine_recurring_patterns(database, per, 3)
+
+
+# ----------------------------------------------------------------------
+# min_ps (count-or-fraction)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("min_ps", [0, -2])
+def test_non_positive_count_min_ps_rejected(database, min_ps):
+    with pytest.raises(ParameterError, match="min_ps must be >= 1"):
+        mine_recurring_patterns(database, 2, min_ps)
+
+
+@pytest.mark.parametrize("min_ps", [0.0, 1.5, -0.3])
+def test_out_of_range_fractional_min_ps_rejected(database, min_ps):
+    with pytest.raises(
+        ParameterError, match=r"fractional min_ps must be in \(0, 1\]"
+    ):
+        mine_recurring_patterns(database, 2, min_ps)
+
+
+@pytest.mark.parametrize("min_ps", [float("nan"), float("inf")])
+def test_non_finite_min_ps_rejected(database, min_ps):
+    with pytest.raises(ParameterError, match="min_ps must be finite"):
+        mine_recurring_patterns(database, 2, min_ps)
+
+
+def test_bool_min_ps_rejected(database):
+    with pytest.raises(
+        ParameterError, match="min_ps must be a count or fraction"
+    ):
+        mine_recurring_patterns(database, 2, True)
+
+
+@pytest.mark.parametrize("min_ps", ["3", None, [3]])
+def test_non_numeric_min_ps_rejected(database, min_ps):
+    with pytest.raises(
+        ParameterError, match="min_ps must be an int or float"
+    ):
+        mine_recurring_patterns(database, 2, min_ps)
+
+
+def test_fraction_of_one_is_accepted(database):
+    # 1.0 is a legal fraction (the whole database), not an error.
+    found = mine_recurring_patterns(database, 2, 1.0)
+    assert len(found) == 0 or all(p.support >= len(database) for p in found)
+
+
+# ----------------------------------------------------------------------
+# min_rec
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("min_rec", [0, -1])
+def test_non_positive_min_rec_rejected(database, min_rec):
+    with pytest.raises(ParameterError, match="min_rec must be >= 1"):
+        mine_recurring_patterns(database, 2, 3, min_rec=min_rec)
+
+
+@pytest.mark.parametrize("min_rec", [1.5, True, "2", None])
+def test_non_integer_min_rec_rejected(database, min_rec):
+    with pytest.raises(ParameterError, match="min_rec must be an integer"):
+        mine_recurring_patterns(database, 2, 3, min_rec=min_rec)
+
+
+# ----------------------------------------------------------------------
+# Eagerness: bad thresholds fail before any other work
+# ----------------------------------------------------------------------
+def test_threshold_validation_precedes_data_handling():
+    # Invalid data AND an invalid threshold: the threshold wins, which
+    # proves validation happens before the transform touches the data.
+    with pytest.raises(ParameterError, match="per must be > 0"):
+        mine_recurring_patterns(object(), 0, 3)
+    # With valid thresholds the same bogus data reaches the transform.
+    with pytest.raises(TypeError, match="EventSequence"):
+        mine_recurring_patterns(object(), 2, 3)
+
+
+def test_fractional_range_fails_at_construction_not_resolve(database):
+    # Out-of-range floats used to slip through MiningParameters and
+    # only explode at resolve() time, mid-mine.  Now construction and
+    # the façade agree.
+    with pytest.raises(ParameterError, match="fractional min_ps"):
+        MiningParameters(per=2, min_ps=1.5, min_rec=1)
+    with pytest.raises(ParameterError, match="fractional min_ps"):
+        mine_recurring_patterns(database, 2, 1.5, jobs=2)
+
+
+def test_mining_parameters_still_resolves_legal_fractions():
+    params = MiningParameters(per=2, min_ps=0.3, min_rec=1)
+    assert params.resolve(10).min_ps == math.ceil(0.3 * 10)

@@ -4,22 +4,30 @@ The naive exhaustive miner is the oracle (it evaluates Definition 9
 directly, itemset by itemset, with no pruning to get wrong); every
 pruning engine — and the parallel layer — must agree with it on any
 database.  This suite drives ~50 seeded random databases through all
-of them per run: a seeded generator varies the item alphabet, density,
-gap distribution (dense with duplicate timestamps, uniform, bursty),
-and sprinkles empty itemsets, so the cases cover the merge/prune edge
-paths that hand-written fixtures miss.
+of them per run: the shared generator in :mod:`repro.qa.differential`
+varies the item alphabet, density, gap distribution (dense with
+duplicate timestamps, uniform, bursty), and sprinkles empty itemsets,
+so the cases cover the merge/prune edge paths that hand-written
+fixtures miss.
 
-On disagreement the test prints the seed, a greedily minimized
-reproducer (rows + parameters) and both pattern sets, so a failure
-is a one-paste bug report rather than a flake.
+The generation, comparison and minimization machinery lives in
+``repro.qa.differential`` (promoted from this file so the metamorphic
+checker and the ``repro qa`` gate reuse it); this test is now just the
+pytest driver.  On disagreement it prints the seed, a greedily
+minimized reproducer (rows + parameters) and both pattern sets, so a
+failure is a one-paste bug report rather than a flake.
 """
 
 import random
 
 import pytest
 
-from repro.core.miner import mine_recurring_patterns
-from repro.core.naive import mine_recurring_patterns_naive
+from repro.qa.differential import (
+    BASE_SEED,
+    check_case,
+    random_params,
+    random_rows,
+)
 from repro.parallel import PARALLEL_ENGINES
 from repro.timeseries.database import TransactionalDatabase
 
@@ -27,148 +35,23 @@ pytestmark = pytest.mark.slow
 
 #: Differential cases per run; each case checks the oracle against all
 #: three pruning engines (serial), and every 7th case additionally
-#: re-checks one engine under jobs=2.
+#: re-checks the engines under jobs=2.
 N_CASES = 50
 
-#: Base seed; case ``i`` uses ``BASE_SEED + i``, so any failure names
-#: a single integer that reproduces it forever.
-BASE_SEED = 20150323
 
-ALPHABET = "abcdefg"
-
-
-# ----------------------------------------------------------------------
-# Seeded generation
-# ----------------------------------------------------------------------
-def _random_rows(rng: random.Random):
-    """Raw (timestamp, itemset-string) rows, deliberately messy.
-
-    ``dense`` gaps produce duplicate timestamps (the database merges
-    them into one transaction) and zero-density draws produce empty
-    itemsets (the database drops them) — both documented constructor
-    behaviours the engines must agree on.
-    """
-    n_items = rng.randint(2, len(ALPHABET))
-    alphabet = ALPHABET[:n_items]
-    n_rows = rng.randint(0, 40)
-    gap_style = rng.choice(("dense", "uniform", "bursty"))
-    density = rng.uniform(0.2, 0.9)
-    rows = []
-    timestamp = 0
-    for _ in range(n_rows):
-        if gap_style == "dense":
-            timestamp += rng.randint(0, 2)
-        elif gap_style == "uniform":
-            timestamp += rng.randint(1, 6)
-        else:
-            timestamp += 1 if rng.random() < 0.7 else rng.randint(5, 15)
-        itemset = "".join(
-            item for item in alphabet if rng.random() < density
-        )
-        rows.append((timestamp, itemset))
-    return rows
-
-
-def _random_params(rng: random.Random):
-    per = rng.randint(1, 6)
-    if rng.random() < 0.25:  # fractional minPS takes the resolve path
-        min_ps = round(rng.uniform(0.05, 0.5), 3)
-    else:
-        min_ps = rng.randint(1, 4)
-    min_rec = rng.randint(1, 3)
-    return per, min_ps, min_rec
-
-
-# ----------------------------------------------------------------------
-# Comparison and failure reporting
-# ----------------------------------------------------------------------
-def _canonical(patterns):
-    """An order-independent, metadata-complete view of a pattern set."""
-    return sorted(
-        (
-            tuple(sorted(str(item) for item in pattern.items)),
-            pattern.support,
-            pattern.recurrence,
-            tuple(pattern.intervals),
-        )
-        for pattern in patterns
-    )
-
-
-def _mine_engine(rows, params, engine, jobs):
-    database = TransactionalDatabase(rows)
-    per, min_ps, min_rec = params
-    return _canonical(
-        mine_recurring_patterns(
-            database, per, min_ps, min_rec, engine=engine, jobs=jobs
-        )
-    )
-
-
-def _disagrees(rows, params, engine, jobs):
-    database = TransactionalDatabase(rows)
-    if len(database) == 0:
-        return False
-    per, min_ps, min_rec = params
-    oracle = _canonical(
-        mine_recurring_patterns_naive(database, per, min_ps, min_rec)
-    )
-    return _mine_engine(rows, params, engine, jobs) != oracle
-
-
-def _minimize(rows, params, engine, jobs):
-    """Greedy one-row-at-a-time shrink that preserves the disagreement."""
-    rows = list(rows)
-    shrinking = True
-    while shrinking:
-        shrinking = False
-        for index in range(len(rows)):
-            trial = rows[:index] + rows[index + 1:]
-            if _disagrees(trial, params, engine, jobs):
-                rows = trial
-                shrinking = True
-                break
-    return rows
-
-
-def _fail(seed, rows, params, engine, jobs, oracle, got):
-    minimal = _minimize(rows, params, engine, jobs)
-    per, min_ps, min_rec = params
-    reproducer = (
-        f"rows = {minimal!r}\n"
-        f"db = TransactionalDatabase(rows)\n"
-        f"mine_recurring_patterns(db, per={per!r}, min_ps={min_ps!r}, "
-        f"min_rec={min_rec!r}, engine={engine!r}, jobs={jobs!r})"
-    )
-    pytest.fail(
-        f"engine {engine!r} (jobs={jobs}) disagrees with the naive "
-        f"oracle.\nseed: {seed}\nminimized reproducer:\n{reproducer}\n"
-        f"oracle: {oracle!r}\ngot:    {got!r}"
-    )
-
-
-# ----------------------------------------------------------------------
-# The differential sweep
-# ----------------------------------------------------------------------
 @pytest.mark.parametrize("case", range(N_CASES))
 def test_engines_agree_with_naive_oracle(case):
     seed = BASE_SEED + case
     rng = random.Random(seed)
-    rows = _random_rows(rng)
-    params = _random_params(rng)
-    database = TransactionalDatabase(rows)
-    if len(database) == 0:
+    rows = random_rows(rng)
+    params = random_params(rng)
+    if len(TransactionalDatabase(rows)) == 0:
         pytest.skip("drew an empty database")
-    per, min_ps, min_rec = params
-    oracle = _canonical(
-        mine_recurring_patterns_naive(database, per, min_ps, min_rec)
+    jobs_values = (1, 2) if case % 7 == 0 else (1,)
+    checks, failures = check_case(
+        seed, rows, params,
+        engines=PARALLEL_ENGINES, jobs_values=jobs_values,
     )
-    for engine in PARALLEL_ENGINES:
-        got = _mine_engine(rows, params, engine, jobs=1)
-        if got != oracle:
-            _fail(seed, rows, params, engine, 1, oracle, got)
-    if case % 7 == 0:
-        engine = PARALLEL_ENGINES[case % len(PARALLEL_ENGINES)]
-        got = _mine_engine(rows, params, engine, jobs=2)
-        if got != oracle:
-            _fail(seed, rows, params, engine, 2, oracle, got)
+    assert checks >= len(PARALLEL_ENGINES)
+    if failures:
+        pytest.fail("\n\n".join(f.describe() for f in failures))

@@ -1,0 +1,144 @@
+"""Tests for the golden (snapshot) corpus.
+
+The committed snapshots under ``tests/qa/golden/`` are the defence
+against lockstep semantic drift — a bug in shared interval code moves
+every engine (and the naive oracle) identically, so only a frozen
+reference catches it.  ``pytest tests/qa --update-golden`` refreshes
+the snapshots after an intentional model change.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.exceptions import DataFormatError
+from repro.qa.golden import (
+    GOLDEN_CASES,
+    GOLDEN_SCHEMA,
+    check_goldens,
+    default_golden_dir,
+    get_golden_case,
+    golden_diff,
+    golden_path,
+    read_golden,
+    run_goldens,
+    update_goldens,
+    write_golden,
+)
+
+
+# ----------------------------------------------------------------------
+# The committed corpus
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "case", GOLDEN_CASES, ids=lambda case: case.name
+)
+def test_committed_snapshot_matches(case, request):
+    if request.config.getoption("--update-golden"):
+        path = write_golden(case, default_golden_dir())
+        pytest.skip(f"snapshot refreshed: {path}")
+    checks = check_goldens(case, default_golden_dir())
+    assert checks, "every golden case must check at least one engine"
+    bad = [c for c in checks if c.status != "pass"]
+    assert not bad, "\n\n".join(
+        f"golden {c.name!r} {c.status} under {c.engine!r}:\n{c.detail}"
+        for c in bad
+    )
+
+
+def test_default_golden_dir_points_at_the_committed_corpus():
+    directory = default_golden_dir()
+    assert os.path.isdir(directory)
+    for case in GOLDEN_CASES:
+        assert os.path.exists(golden_path(directory, case.name))
+
+
+def test_running_example_snapshot_document_shape():
+    document, patterns = read_golden("running-example", default_golden_dir())
+    assert document["schema"] == GOLDEN_SCHEMA
+    assert document["params"] == {"per": 2, "min_ps": 3, "min_rec": 2}
+    # Table 2 of the paper: 8 recurring patterns, "ab" with support 7.
+    assert len(patterns) == 8
+    by_items = {items: entry for items, *entry in patterns}
+    assert by_items[("a", "b")][0] == 7
+
+
+def test_get_golden_case_rejects_unknown():
+    with pytest.raises(KeyError, match="no-such-case"):
+        get_golden_case("no-such-case")
+
+
+# ----------------------------------------------------------------------
+# Update tooling and failure modes (all against a temp directory)
+# ----------------------------------------------------------------------
+def test_update_goldens_writes_checkable_snapshots(tmp_path):
+    paths = update_goldens(str(tmp_path), names=["running-example"])
+    assert paths == [str(tmp_path / "running-example.json")]
+    result = run_goldens(str(tmp_path), names=["running-example"])
+    assert result.passed
+    assert all(c.status == "pass" for c in result.checks)
+
+
+def test_missing_snapshot_reports_skip_not_pass(tmp_path):
+    checks = check_goldens(get_golden_case("running-example"), str(tmp_path))
+    assert {c.status for c in checks} == {"skip"}
+    assert all("--update-golden" in c.detail for c in checks)
+    # A skip keeps the suite green but is visibly not a pass.
+    result = run_goldens(str(tmp_path), names=["running-example"])
+    assert result.passed and not result.failures
+
+
+def test_tampered_snapshot_fails_with_diff_report(tmp_path):
+    update_goldens(str(tmp_path), names=["running-example"])
+    path = golden_path(str(tmp_path), "running-example")
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    document["patterns"][0]["support"] += 1
+    removed = document["patterns"].pop()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    checks = check_goldens(get_golden_case("running-example"), str(tmp_path))
+    assert all(c.status == "fail" for c in checks)
+    detail = checks[0].detail
+    assert "~ changed:" in detail  # tampered support
+    assert "+ unexpected:" in detail  # pattern missing from the snapshot
+    assert "".join(removed["items"]) in detail.replace(" ", "")
+
+
+def test_stale_params_snapshot_is_an_error_not_a_silent_pass(tmp_path):
+    update_goldens(str(tmp_path), names=["running-example"])
+    path = golden_path(str(tmp_path), "running-example")
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    document["params"]["per"] = 99
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    with pytest.raises(DataFormatError, match="refresh the golden corpus"):
+        read_golden("running-example", str(tmp_path))
+    checks = check_goldens(get_golden_case("running-example"), str(tmp_path))
+    assert {c.status for c in checks} == {"error"}
+
+
+def test_bad_schema_rejected(tmp_path):
+    path = golden_path(str(tmp_path), "running-example")
+    os.makedirs(str(tmp_path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"schema": "bogus/v9"}, handle)
+    with pytest.raises(DataFormatError, match="bogus/v9"):
+        read_golden("running-example", str(tmp_path))
+
+
+# ----------------------------------------------------------------------
+# The diff renderer
+# ----------------------------------------------------------------------
+def test_golden_diff_classifies_all_three_kinds():
+    base = (("a",), 5, 1, ())
+    changed = (("a",), 6, 1, ())
+    only_expected = (("b",), 3, 1, ())
+    only_actual = (("c",), 2, 1, ())
+    report = golden_diff([base, only_expected], [changed, only_actual])
+    assert "- missing:" in report and "b [" in report
+    assert "+ unexpected:" in report and "c [" in report
+    assert "~ changed:" in report
+    assert golden_diff([base], [base]) == ""

@@ -1,0 +1,206 @@
+"""Tests for the budgeted ``repro qa`` conformance gate.
+
+Covers :func:`repro.qa.run_qa` (report structure, budget handling,
+suite skipping, the ``repro-qa/v1`` record contract) and the CLI
+subcommand end to end through :func:`repro.cli.main`.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.report import QA_SCHEMA, validate_qa_record
+from repro.qa import QAConfig, QAReport, run_qa
+from repro.qa.golden import golden_path, update_goldens
+
+
+def _fast_config(**overrides):
+    """A gate configuration that finishes in well under a second."""
+    settings = dict(
+        budget=30.0,
+        jobs_values=(1,),
+        relation_cases=0,
+        differential_cases=3,
+    )
+    settings.update(overrides)
+    return QAConfig(**settings)
+
+
+# ----------------------------------------------------------------------
+# run_qa
+# ----------------------------------------------------------------------
+def test_run_qa_passes_and_produces_a_valid_record():
+    report = run_qa(_fast_config())
+    assert report.passed
+    assert report.matrix_complete()
+    assert report.seconds > 0
+    record = report.as_record()
+    validate_qa_record(record)  # must not raise
+    assert record["schema"] == QA_SCHEMA
+    assert record["passed"] is True
+    assert record["relations"]["matrix_complete"] is True
+    assert record["relations"]["violations"] == []
+    assert record["differential"]["cases"] == 3
+    assert all(
+        check["status"] == "pass" for check in record["golden"]["checks"]
+    )
+    # Round-trips through JSON (the TraceWriter contract).
+    assert json.loads(json.dumps(record)) == record
+
+
+def test_run_qa_skips_requested_suites():
+    report = run_qa(
+        _fast_config(skip=("golden", "differential"))
+    )
+    assert report.passed
+    assert report.skipped == ("golden", "differential")
+    assert report.golden.checks == []
+    assert report.differential.cases == 0
+    record = report.as_record()
+    validate_qa_record(record)
+    assert record["skipped"] == ["golden", "differential"]
+
+
+def test_run_qa_skipping_relations_voids_matrix_completeness():
+    report = run_qa(_fast_config(skip=("relations",)))
+    assert not report.matrix_complete()
+    assert report.passed  # skipping is not failing
+
+
+def test_qa_config_rejects_unknown_section():
+    with pytest.raises(ValueError, match="unknown qa section"):
+        QAConfig(skip=("bogus",))
+
+
+def test_exhausted_budget_still_completes_the_relation_matrix():
+    report = run_qa(_fast_config(budget=0.0))
+    assert report.matrix_complete()
+    assert report.differential.cases == 0  # no time left for the sweep
+
+
+def test_summary_table_names_verdict_and_suites():
+    report = run_qa(_fast_config(skip=("differential",)))
+    table = report.summary_table()
+    assert "qa gate PASS" in table
+    for suite in ("relations", "golden", "differential"):
+        assert suite in table
+    assert "skip" in table
+
+
+def test_failure_reports_collect_golden_diffs(tmp_path):
+    update_goldens(str(tmp_path), names=["running-example"])
+    path = golden_path(str(tmp_path), "running-example")
+    document = json.loads(open(path, encoding="utf-8").read())
+    document["patterns"][0]["support"] += 3
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    report = run_qa(
+        _fast_config(
+            golden_dir=str(tmp_path), skip=("relations", "differential")
+        )
+    )
+    assert not report.passed
+    assert "FAIL" in report.summary_table()
+    reports = report.failure_reports()
+    assert reports and any("~ changed:" in text for text in reports)
+    validate_qa_record(report.as_record())
+
+
+# ----------------------------------------------------------------------
+# The repro-qa/v1 record contract
+# ----------------------------------------------------------------------
+def test_validate_qa_record_rejects_wrong_schema():
+    record = run_qa(_fast_config(skip=("differential",))).as_record()
+    record["schema"] = "bogus"
+    with pytest.raises(ValueError, match="bogus"):
+        validate_qa_record(record)
+
+
+def test_validate_qa_record_rejects_missing_sections():
+    record = run_qa(_fast_config(skip=("differential",))).as_record()
+    del record["relations"]
+    with pytest.raises(ValueError):
+        validate_qa_record(record)
+
+
+# ----------------------------------------------------------------------
+# The CLI subcommand
+# ----------------------------------------------------------------------
+def test_cli_qa_passes_and_writes_report(tmp_path, capsys):
+    report_path = tmp_path / "qa.json"
+    exit_code = main([
+        "qa",
+        "--budget", "30",
+        "--relation-cases", "0",
+        "--differential-cases", "2",
+        "--report", str(report_path),
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "qa gate PASS" in captured.out
+    assert "qa report written" in captured.err
+    record = json.loads(report_path.read_text())
+    validate_qa_record(record)
+    assert record["passed"] is True
+    assert record["budget_seconds"] == 30.0
+
+
+def test_cli_qa_dash_disables_report(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    exit_code = main([
+        "qa", "--relation-cases", "0", "--differential-cases", "1",
+        "--skip", "golden", "--report", "-",
+    ])
+    assert exit_code == 0
+    assert list(tmp_path.iterdir()) == []  # nothing written anywhere
+
+
+def test_cli_qa_update_golden_writes_snapshots(tmp_path, capsys):
+    golden_dir = tmp_path / "golden"
+    exit_code = main([
+        "qa",
+        "--skip", "relations", "--skip", "differential",
+        "--golden-dir", str(golden_dir),
+        "--update-golden",
+        "--report", "-",
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert sorted(p.name for p in golden_dir.iterdir()) == [
+        "clickstream-micro.json",
+        "planted.json",
+        "quest-micro.json",
+        "running-example.json",
+    ]
+    assert captured.err.count("golden snapshot written") == 4
+
+
+def test_cli_qa_red_gate_exits_nonzero(tmp_path, capsys):
+    update_goldens(str(tmp_path), names=["running-example"])
+    path = golden_path(str(tmp_path), "running-example")
+    document = json.loads(open(path, encoding="utf-8").read())
+    del document["patterns"][0]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    exit_code = main([
+        "qa",
+        "--skip", "relations", "--skip", "differential",
+        "--golden-dir", str(tmp_path),
+        "--report", "-",
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "qa gate FAIL" in captured.out
+    assert "+ unexpected:" in captured.out
+
+
+def test_cli_qa_rejects_unknown_skip(capsys):
+    with pytest.raises(SystemExit):
+        main(["qa", "--skip", "everything"])
+
+
+def test_qa_report_default_construction_is_empty_pass():
+    report = QAReport(config=QAConfig())
+    assert report.passed  # vacuous: nothing ran, nothing failed
+    assert report.golden.checks == []
