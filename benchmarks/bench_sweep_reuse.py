@@ -1,0 +1,135 @@
+"""Sweep-engine reuse: shared-scan grid vs independent per-cell mining.
+
+The paper's evaluation grids (Table 7's layout: three ``per`` values
+crossed with a ``minRec`` ladder) are the sweep engine's reason to
+exist, so this bench runs that shape on the Quest workload twice:
+
+* **independent** — one façade call per cell, each starting from the
+  raw rows like any fresh mining session (database construction, the
+  vertical scan and the full mine are paid per cell);
+* **sweep** — one :func:`repro.sweep.run_sweep` over the identical
+  grid (transform and scan once, one mine per ``(per, minPS)`` column,
+  tighter ``minRec`` cells derived by the recurrence filter).
+
+Both must produce identical per-cell pattern sets — reuse that changed
+an answer would be a bug, not a speedup.  The wall-clock ratio is
+recorded to ``BENCH_sweep.json`` (a ``repro-bench/v1`` envelope whose
+payload embeds the validated ``repro-sweep/v1`` record) and **gated at
+≥2×**: with four ``minRec`` levels per column the derivation layer
+alone removes three-quarters of the mining work, so a failed gate means
+the reuse layers regressed.  The gate is deliberately CPU-count
+independent — the saving comes from not redoing work, not from
+parallelism — so it holds on single-core CI runners too.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.bench.reporting import format_table
+from repro.core.miner import mine_recurring_patterns
+from repro.obs.report import validate_sweep_record
+from repro.qa.differential import canonical
+from repro.sweep import SweepPlan, run_sweep
+from repro.bench.workloads import quest_workload
+from repro.timeseries.database import TransactionalDatabase
+
+SCALE = 0.05
+PERS = (360, 720, 1440)
+MIN_PS_VALUES = (0.002,)
+MIN_RECS = (1, 2, 3, 4)
+#: The reuse gate: the shared-scan sweep must finish the grid at least
+#: this much faster than independent per-cell mining.
+MIN_SPEEDUP = 2.0
+
+BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_sweep.json"
+
+
+def _rows(database):
+    """The raw rows an independent mining session would start from."""
+    return [(t.ts, tuple(t.items)) for t in database]
+
+
+def test_sweep_reuse_speedup(record_artifact):
+    base = quest_workload(SCALE)
+    rows = _rows(base)
+    plan = SweepPlan(
+        pers=PERS, min_ps_values=MIN_PS_VALUES, min_recs=MIN_RECS
+    )
+
+    # Independent baseline: every cell is its own session over the raw
+    # rows — fresh database, fresh scan, full mine, like running the
+    # façade (or the pre-sweep bench harness) once per cell.
+    independent = {}
+    started = time.perf_counter()
+    for per, min_ps, min_rec in plan.cells():
+        independent[(per, min_ps, min_rec)] = mine_recurring_patterns(
+            TransactionalDatabase(rows), per, min_ps, min_rec
+        )
+    independent_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    result = run_sweep(
+        TransactionalDatabase(rows), plan, dataset=f"quest-{SCALE:g}"
+    )
+    sweep_seconds = time.perf_counter() - started
+
+    # Identical answers, cell for cell — the precondition of the gate.
+    for key in plan.cells():
+        assert canonical(result.patterns[key]) == canonical(
+            independent[key]
+        ), key
+    assert result.cells_derived == plan.cell_count - result.cells_mined
+    assert result.cells_derived > 0
+
+    record = result.as_record()
+    validate_sweep_record(record)
+    speedup = independent_seconds / sweep_seconds
+
+    record_artifact(
+        "sweep_reuse",
+        format_table(
+            ["path", "seconds", "cells mined"],
+            [
+                ("independent", f"{independent_seconds:.4f}",
+                 plan.cell_count),
+                ("sweep", f"{sweep_seconds:.4f}", result.cells_mined),
+                ("speedup", f"{speedup:.2f}x", ""),
+            ],
+            title=(
+                f"Shared-scan sweep vs independent mining, quest "
+                f"({plan.cell_count} cells)"
+            ),
+        ),
+    )
+
+    payload = {
+        "schema": "repro-bench/v1",
+        "benchmark": "sweep_reuse",
+        "created_unix": time.time(),
+        "params": {
+            "pers": list(PERS),
+            "min_ps_values": list(MIN_PS_VALUES),
+            "min_recs": list(MIN_RECS),
+            "scale": SCALE,
+        },
+        "hardware": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": os.uname().sysname if hasattr(os, "uname") else "?",
+        },
+        "independent_seconds": independent_seconds,
+        "sweep_seconds": sweep_seconds,
+        "speedup": speedup,
+        "min_speedup_gate": MIN_SPEEDUP,
+        "sweep_record": record,
+    }
+    BENCH_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"sweep reuse gate failed: {speedup:.2f}x < {MIN_SPEEDUP}x "
+        f"(independent {independent_seconds:.3f}s, sweep "
+        f"{sweep_seconds:.3f}s)"
+    )

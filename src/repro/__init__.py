@@ -23,7 +23,15 @@ from repro.core.condensed import (
     maximal_patterns,
     top_k_patterns,
 )
+from repro.core.engines import (
+    ENGINES,
+    PARALLEL_ENGINES,
+    EngineSpec,
+    get_engine,
+    register_engine,
+)
 from repro.core.miner import mine_recurring_patterns
+from repro.core.options import ObservabilityOptions, ResilienceOptions
 from repro.core.model import (
     MiningParameters,
     PeriodicInterval,
@@ -40,6 +48,7 @@ from repro.core.streaming import StreamingRecurrenceMonitor
 from repro.core.targeted import mine_patterns_containing
 from repro.obs import MiningTelemetry, SpanCollector, span
 from repro.parallel import ParallelMiner
+from repro.sweep import SweepPlan, SweepResult, run_sweep
 from repro.exceptions import (
     ChunkFailedError,
     DataFormatError,
@@ -78,6 +87,18 @@ __all__ = [
     "StreamingRecurrenceMonitor",
     "suggest_per",
     "mine_patterns_containing",
+    # Configuration and the engine registry
+    "ResilienceOptions",
+    "ObservabilityOptions",
+    "ENGINES",
+    "PARALLEL_ENGINES",
+    "EngineSpec",
+    "get_engine",
+    "register_engine",
+    # Threshold sweeps
+    "SweepPlan",
+    "SweepResult",
+    "run_sweep",
     # Observability
     "MiningTelemetry",
     "SpanCollector",

@@ -5,25 +5,33 @@ Three entry points, one per artefact family:
 * :func:`sweep_pattern_counts` — the count grids of Table 5 and the
   series of Figure 7;
 * :func:`sweep_runtime` — the runtime grids of Table 7 and the series
-  of Figure 9 (wall-clock, includes the database scans exactly as the
-  paper's runtime includes the transformation);
+  of Figure 9;
 * :func:`compare_models` — the model comparison of Table 8
   (periodic-frequent vs recurring vs p-patterns, counts and longest
   pattern).
+
+Both sweeps run on the shared-scan sweep engine
+(:func:`repro.sweep.run_sweep`): the transform and the vertical scan
+are paid once per grid, and the count sweep additionally derives every
+tighter-``minRec`` cell from its column's loosest cell (the
+derivation theorem — see :mod:`repro.sweep.engine`).  The runtime
+sweep keeps ``derive_min_rec=False`` so each reported cell is a real,
+measured mine, comparable across the grid.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro._validation import Number
 from repro.baselines.pf_growth import mine_periodic_frequent_patterns
 from repro.baselines.ppattern import mine_p_patterns
 from repro.bench.reporting import format_series, format_table
 from repro.core.miner import mine_recurring_patterns
+from repro.core.options import ResilienceOptions
 from repro.obs.counters import MiningStats
-from repro.obs.spans import SpanCollector, span
+from repro.sweep import SweepPlan, SweepResult, run_sweep
 from repro.timeseries.database import TransactionalDatabase
 
 __all__ = [
@@ -118,38 +126,34 @@ def sweep_pattern_counts(
     min_recs: Sequence[int],
     engine: str = "rp-growth",
     jobs: int = 1,
-    timeout: Union[float, None] = None,
-    max_retries: int = 2,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> GridResult:
     """Count recurring patterns over the full parameter grid (Table 5).
 
+    Runs on the shared-scan sweep engine: the transform and the
+    vertical scan are computed once, and each ``(per, minPS)`` column
+    is mined only at its loosest ``minRec`` — the tighter cells are
+    derived by the recurrence filter (byte-identical by the derivation
+    theorem, so the counts are exactly what per-cell mining reports).
     Each cell's engine counters are kept in ``result.stats`` so the
     ablation benches and ``repro-mine bench --trace-out`` can report
     pruning effectiveness without re-mining.  With ``jobs > 1`` every
-    cell is mined by the parallel layer (identical counts and
-    counters; see ``docs/performance.md``) under chunk supervision —
-    ``timeout`` / ``max_retries`` are the resilience knobs, and a
-    faulty cell is re-mined serially rather than aborting the sweep.
+    mined cell runs through the parallel layer under chunk supervision;
+    ``resilience`` carries the per-chunk timeout/retry/fallback knobs.
     """
-    result = GridResult(
+    sweep = run_sweep(
+        database,
+        SweepPlan(
+            pers=tuple(pers),
+            min_ps_values=tuple(min_ps_values),
+            min_recs=tuple(min_recs),
+            engine=engine,
+            jobs=jobs,
+            resilience=resilience or ResilienceOptions(),
+        ),
         dataset=dataset,
-        metric="count",
-        pers=tuple(pers),
-        min_ps_values=tuple(min_ps_values),
-        min_recs=tuple(min_recs),
     )
-    for per in pers:
-        for min_ps in min_ps_values:
-            for min_rec in min_recs:
-                found, telemetry = mine_recurring_patterns(
-                    database, per, min_ps, min_rec, engine=engine,
-                    jobs=jobs, timeout=timeout, max_retries=max_retries,
-                    collect_stats=True,
-                )
-                key = (per, min_ps, min_rec)
-                result.cells[key] = float(len(found))
-                result.stats[key] = telemetry.stats
-    return result
+    return _as_grid(sweep, metric="count")
 
 
 def sweep_runtime(
@@ -161,48 +165,55 @@ def sweep_runtime(
     engine: str = "rp-growth",
     repeats: int = 1,
     jobs: int = 1,
-    timeout: Union[float, None] = None,
-    max_retries: int = 2,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> GridResult:
     """Measure mining wall-clock over the parameter grid (Table 7).
 
     The best of ``repeats`` runs is recorded, as is conventional for
     runtime tables.  Timing is span-based (:mod:`repro.obs.spans`), so
     every cell also carries the phase breakdown of its best run —
-    see :meth:`GridResult.phase_breakdown`.  ``jobs > 1`` times the
-    parallel layer instead of the serial engine (the wall-clock then
-    includes pool start-up per cell).
+    see :meth:`GridResult.phase_breakdown`.  Because this sweep exists
+    to *measure* mining, it keeps ``derive_min_rec=False``: every cell
+    is genuinely mined (sharing only the threshold-independent
+    transform/scan work), so its wall-clock is comparable across the
+    grid instead of collapsing to a filter for derived cells.
+    ``jobs > 1`` times the parallel layer instead of the serial engine
+    (the wall-clock then includes pool start-up per cell).
     """
-    result = GridResult(
+    sweep = run_sweep(
+        database,
+        SweepPlan(
+            pers=tuple(pers),
+            min_ps_values=tuple(min_ps_values),
+            min_recs=tuple(min_recs),
+            engine=engine,
+            jobs=jobs,
+            derive_min_rec=False,
+            repeats=max(1, repeats),
+            resilience=resilience or ResilienceOptions(),
+        ),
         dataset=dataset,
-        metric="seconds",
-        pers=tuple(pers),
-        min_ps_values=tuple(min_ps_values),
-        min_recs=tuple(min_recs),
     )
-    for per in pers:
-        for min_ps in min_ps_values:
-            for min_rec in min_recs:
-                best = float("inf")
-                best_phases: Dict[str, float] = {}
-                for _ in range(max(1, repeats)):
-                    collector = SpanCollector()
-                    with collector, span("run"):
-                        mine_recurring_patterns(
-                            database, per, min_ps, min_rec, engine=engine,
-                            jobs=jobs, timeout=timeout,
-                            max_retries=max_retries,
-                        )
-                    run = collector.roots[0]
-                    if run.seconds < best:
-                        best = run.seconds
-                        best_phases = {
-                            child.name: child.seconds
-                            for child in run.children
-                        }
-                key = (per, min_ps, min_rec)
-                result.cells[key] = best
-                result.phases[key] = best_phases
+    return _as_grid(sweep, metric="seconds")
+
+
+def _as_grid(sweep: SweepResult, metric: str) -> GridResult:
+    """Project a :class:`SweepResult` onto the tabular GridResult."""
+    plan = sweep.plan
+    result = GridResult(
+        dataset=sweep.dataset or "",
+        metric=metric,
+        pers=plan.pers,
+        min_ps_values=plan.min_ps_values,
+        min_recs=plan.min_recs,
+    )
+    for key in plan.cells():
+        if metric == "count":
+            result.cells[key] = float(len(sweep.patterns[key]))
+        else:
+            result.cells[key] = sweep.seconds_by_cell[key]
+        result.phases[key] = sweep.phase_breakdown(*key)
+        result.stats[key] = sweep.stats[key]
     return result
 
 

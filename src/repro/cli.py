@@ -11,6 +11,9 @@ Subcommands
     Describe the shape of a database file.
 ``bench``
     Run a Table 5/7-style parameter sweep on a generated workload.
+``sweep``
+    Mine a threshold grid through the shared-scan sweep engine and
+    report the reuse counters (``repro-sweep/v1`` telemetry).
 ``compare``
     Run the Table 8 model comparison on a generated workload.
 ``qa``
@@ -36,8 +39,11 @@ from repro.bench.workloads import (
     quest_workload,
     twitter_workload,
 )
-from repro.core.miner import ENGINES, mine_recurring_patterns
+from repro.core.engines import ENGINES
+from repro.core.miner import mine_recurring_patterns
+from repro.core.options import ObservabilityOptions, ResilienceOptions
 from repro.exceptions import ReproError
+from repro.sweep import SweepPlan, run_sweep
 from repro.timeseries.database import TransactionalDatabase
 from repro.timeseries.io import (
     load_event_sequence,
@@ -229,6 +235,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--runtime", action="store_true", help="also measure wall-clock"
     )
 
+    sweep = commands.add_parser(
+        "sweep",
+        help="shared-scan threshold-grid sweep (repro-sweep/v1)",
+    )
+    sweep.add_argument("--input", default=None, help="input file path")
+    sweep.add_argument(
+        "--format",
+        choices=("transactions", "events"),
+        default="transactions",
+        help="input file format (default: transactions)",
+    )
+    sweep.add_argument(
+        "--dataset", choices=sorted(_WORKLOADS), default=None,
+        help="generate this synthetic workload instead of --input",
+    )
+    sweep.add_argument("--scale", type=float, default=0.05)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--pers", type=float, nargs="+", required=True
+    )
+    sweep.add_argument(
+        "--min-ps", type=_threshold, nargs="+", required=True,
+        dest="min_ps_values",
+    )
+    sweep.add_argument("--min-recs", type=int, nargs="+", default=[1])
+    sweep.add_argument(
+        "--engine", choices=ENGINES, default="rp-growth"
+    )
+    sweep.add_argument(
+        "--no-derive",
+        action="store_true",
+        help="mine every cell instead of deriving tighter min_rec "
+        "cells from their column's loosest mine (slower; identical "
+        "results — useful for timing comparisons)",
+    )
+    sweep.add_argument(
+        "--repeats", type=int, default=1, metavar="N",
+        help="mine each mined cell N times, keep the fastest timing",
+    )
+
     compare = commands.add_parser(
         "compare", help="model comparison (Table 8)"
     )
@@ -365,12 +411,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="report failures without greedily shrinking them (faster)",
     )
 
-    for sub in (mine, generate, stats, bench, compare, rules, baseline, qa):
+    for sub in (
+        mine, generate, stats, bench, sweep, compare, rules, baseline, qa
+    ):
         _add_logging_flag(sub)
     _add_profiling_flags(mine)
     _add_profiling_flags(baseline)
     _add_profiling_flags(bench, memory=False)
-    for sub in (mine, bench, baseline):
+    _add_profiling_flags(sweep)
+    for sub in (mine, bench, sweep, baseline):
         _add_jobs_flag(sub)
     return parser
 
@@ -394,6 +443,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_stats(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "compare":
             return _cmd_compare(args)
         if args.command == "rules":
@@ -460,11 +511,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             min_rec=args.min_rec,
             engine=args.engine,
             jobs=args.jobs,
-            timeout=args.chunk_timeout,
-            max_retries=args.max_retries,
-            collect_stats=True,
-            trace=args.trace_out,
-            track_memory=args.track_memory,
+            resilience=_resilience_options(args),
+            observability=ObservabilityOptions(
+                collect_stats=True,
+                trace=args.trace_out,
+                track_memory=args.track_memory,
+            ),
         )
     else:
         found = mine_recurring_patterns(
@@ -474,8 +526,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             min_rec=args.min_rec,
             engine=args.engine,
             jobs=args.jobs,
-            timeout=args.chunk_timeout,
-            max_retries=args.max_retries,
+            resilience=_resilience_options(args),
         )
     if telemetry is not None:
         telemetry.log(level=logging.DEBUG)
@@ -672,8 +723,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         args.min_recs,
         engine=args.engine,
         jobs=args.jobs,
-        timeout=args.chunk_timeout,
-        max_retries=args.max_retries,
+        resilience=_resilience_options(args),
     )
     print(counts.as_table())
     # A trace or profile needs per-cell timings, so those imply the
@@ -688,8 +738,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             args.min_recs,
             engine=args.engine,
             jobs=args.jobs,
-            timeout=args.chunk_timeout,
-            max_retries=args.max_retries,
+            resilience=_resilience_options(args),
         )
         print()
         print(runtime.as_table())
@@ -734,6 +783,81 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if (args.input is None) == (args.dataset is None):
+        print(
+            "error: pass exactly one of --input or --dataset",
+            file=sys.stderr,
+        )
+        return 2
+    if args.input is not None:
+        database = _load(args.input, args.format)
+        dataset = args.input
+    else:
+        database = _WORKLOADS[args.dataset](
+            scale=args.scale, seed=args.seed
+        )
+        dataset = args.dataset
+    plan = SweepPlan(
+        pers=tuple(args.pers),
+        min_ps_values=tuple(args.min_ps_values),
+        min_recs=tuple(args.min_recs),
+        engine=args.engine,
+        jobs=args.jobs,
+        derive_min_rec=not args.no_derive,
+        repeats=args.repeats,
+        resilience=_resilience_options(args),
+    )
+    result = run_sweep(
+        database,
+        plan,
+        dataset=dataset,
+        observability=ObservabilityOptions(
+            trace=args.trace_out,
+            track_memory=args.track_memory,
+        ),
+    )
+    rows = [
+        (
+            f"{per:g}",
+            str(min_ps),
+            str(min_rec),
+            len(result.pattern_set(per, min_ps, min_rec)),
+            "derived" if result.derived_from[(per, min_ps, min_rec)]
+            else "mined",
+            f"{result.seconds_by_cell[(per, min_ps, min_rec)]:.6f}",
+        )
+        for per, min_ps, min_rec in plan.cells()
+    ]
+    print(
+        format_table(
+            ["per", "minPS", "minRec", "patterns", "how", "seconds"],
+            rows,
+            title=f"{dataset}: sweep ({plan.engine})",
+        )
+    )
+    print(result.summary_line(), file=sys.stderr)
+    if args.trace_out:
+        print(f"sweep trace written to {args.trace_out}", file=sys.stderr)
+    if args.profile:
+        totals: dict = {"transform": result.transform_seconds}
+        for key in plan.cells():
+            for name, seconds in result.phase_breakdown(*key).items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        prows = [
+            [name, f"{seconds:.6f}"] for name, seconds in totals.items()
+        ]
+        prows.append(["total", f"{result.seconds:.6f}"])
+        print(
+            format_table(
+                ["phase", "seconds"], prows,
+                title=f"{dataset}: phase totals over the grid",
+            ),
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     database = _WORKLOADS[args.dataset](scale=args.scale, seed=args.seed)
     result = compare_models(
@@ -755,6 +879,13 @@ def _load(path: str, file_format: str) -> TransactionalDatabase:
     if file_format == "events":
         return TransactionalDatabase.from_events(load_event_sequence(path))
     return load_transactional_database(path)
+
+
+def _resilience_options(args: argparse.Namespace) -> ResilienceOptions:
+    """The --chunk-timeout/--max-retries flags as a ResilienceOptions."""
+    return ResilienceOptions(
+        timeout=args.chunk_timeout, max_retries=args.max_retries
+    )
 
 
 def _threshold(text: str):

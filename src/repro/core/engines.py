@@ -1,0 +1,310 @@
+"""The engine registry — the single source of truth for engine names.
+
+Every part of the library that needs to know which mining engines
+exist (the façade, the CLI's ``--engine`` choices, the parallel
+layer's capability check, the qa gate's engine × jobs matrix) reads
+this registry instead of keeping its own copied tuple.  An engine is a
+:class:`EngineSpec`: a name, a factory producing a miner object, and
+capability flags —
+
+``supports_jobs``
+    The engine's search space can be prefix-partitioned by
+    :mod:`repro.parallel`, so ``jobs > 1`` is allowed.
+``exhaustive``
+    The engine enumerates the full itemset lattice without pruning; it
+    exists as an obviously-correct reference for small inputs, and
+    consumers like the golden corpus exclude it from large cases.
+``family``
+    How the engine explores the search space — ``"growth"``
+    (pattern-growth over an RP-tree), ``"vertical"`` (ts-list
+    intersection) or ``"exhaustive"``.  The parallel layer picks its
+    partitioning strategy from this flag.
+
+A factory is called as ``factory(per, min_ps, min_rec, **options)``
+and returns an object with ``mine(database)`` and ``last_stats``
+(the :class:`~repro.obs.counters.StatsSource` protocol).  Factories
+accept the engine-specific options they understand (``item_order``,
+``pruning``, ``max_length``) and ignore the rest, so one call site can
+drive any engine.
+
+Examples
+--------
+>>> from repro.core.engines import ENGINES, get_engine
+>>> tuple(ENGINES)
+('rp-growth', 'rp-eclat', 'rp-eclat-np', 'naive')
+>>> get_engine("naive").supports_jobs
+False
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional, Sequence
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "ENGINES",
+    "PARALLEL_ENGINES",
+    "EngineSpec",
+    "EngineView",
+    "engine_names",
+    "get_engine",
+    "register_engine",
+    "unregister_engine",
+]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered mining engine: identity, factory, capabilities."""
+
+    name: str
+    factory: Callable[..., object]
+    supports_jobs: bool = False
+    exhaustive: bool = False
+    family: str = "vertical"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ParameterError(
+                f"engine name must be a non-empty string, got {self.name!r}"
+            )
+        if not callable(self.factory):
+            raise ParameterError(
+                f"engine factory must be callable, got {self.factory!r}"
+            )
+        if self.family not in ("growth", "vertical", "exhaustive"):
+            raise ParameterError(
+                f"engine family must be 'growth', 'vertical' or "
+                f"'exhaustive', got {self.family!r}"
+            )
+
+
+#: The registry proper.  Insertion order is the presentation order
+#: everywhere (CLI choices, qa matrices, documentation).
+_REGISTRY: Dict[str, EngineSpec] = {}
+
+
+def register_engine(
+    name: str,
+    factory: Callable[..., object],
+    *,
+    supports_jobs: bool = False,
+    exhaustive: bool = False,
+    family: str = "vertical",
+    description: str = "",
+    replace: bool = False,
+) -> EngineSpec:
+    """Register a mining engine under ``name``.
+
+    ``factory(per, min_ps, min_rec, **options)`` must return an object
+    with ``mine(database)`` and ``last_stats``.  Registering an
+    existing name raises :class:`~repro.exceptions.ParameterError`
+    unless ``replace=True``.
+
+    Returns the created :class:`EngineSpec`.
+    """
+    if name in _REGISTRY and not replace:
+        raise ParameterError(
+            f"engine {name!r} is already registered; "
+            "pass replace=True to override it"
+        )
+    spec = EngineSpec(
+        name=name,
+        factory=factory,
+        supports_jobs=supports_jobs,
+        exhaustive=exhaustive,
+        family=family,
+        description=description,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def unregister_engine(name: str) -> None:
+    """Remove ``name`` from the registry (no-op for unknown names)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_engine(name: str) -> EngineSpec:
+    """The :class:`EngineSpec` registered as ``name``.
+
+    Raises :class:`~repro.exceptions.ParameterError` naming the known
+    engines when ``name`` is not registered.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown engine {name!r}; expected one of {engine_names()}"
+        ) from None
+
+
+def engine_names() -> tuple:
+    """All registered engine names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+class EngineView(Sequence):
+    """A live, tuple-like view over (a filtered subset of) the registry.
+
+    Iteration, membership, indexing and equality all behave like the
+    tuple of engine names the view currently selects, so existing code
+    written against hard-coded name tuples (``for e in ENGINES``,
+    ``choices=ENGINES``, ``engine in PARALLEL_ENGINES``) keeps working
+    — but an engine registered later appears in every view at once.
+    """
+
+    __slots__ = ("_predicate",)
+
+    def __init__(
+        self, predicate: Optional[Callable[[EngineSpec], bool]] = None
+    ):
+        self._predicate = predicate
+
+    def _names(self) -> tuple:
+        if self._predicate is None:
+            return tuple(_REGISTRY)
+        return tuple(
+            name
+            for name, spec in _REGISTRY.items()
+            if self._predicate(spec)
+        )
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names())
+
+    def __len__(self) -> int:
+        return len(self._names())
+
+    def __getitem__(self, index):
+        return self._names()[index]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._names()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EngineView):
+            return self._names() == other._names()
+        if isinstance(other, (tuple, list)):
+            return self._names() == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._names())
+
+    def __add__(self, other):
+        return self._names() + tuple(other)
+
+    def __radd__(self, other):
+        return tuple(other) + self._names()
+
+    def __repr__(self) -> str:
+        return repr(self._names())
+
+
+#: Every registered engine (live view; reads like a tuple of names).
+ENGINES = EngineView()
+
+#: Engines the parallel layer can partition (``supports_jobs``).
+PARALLEL_ENGINES = EngineView(lambda spec: spec.supports_jobs)
+
+
+# ----------------------------------------------------------------------
+# Built-in engine factories (lazy imports keep start-up cheap and
+# avoid import cycles; ``**_ignored`` lets one call site pass the union
+# of engine options to any factory).
+# ----------------------------------------------------------------------
+def _make_rp_growth(
+    per,
+    min_ps,
+    min_rec,
+    *,
+    item_order: str = "support-desc",
+    max_length=None,
+    **_ignored,
+):
+    from repro.core.rp_growth import RPGrowth
+
+    return RPGrowth(
+        per, min_ps, min_rec, item_order=item_order, max_length=max_length
+    )
+
+
+def _make_rp_eclat(
+    per,
+    min_ps,
+    min_rec,
+    *,
+    pruning: str = "erec",
+    max_length=None,
+    **_ignored,
+):
+    from repro.core.rp_eclat import RPEclat
+
+    return RPEclat(
+        per, min_ps, min_rec, pruning=pruning, max_length=max_length
+    )
+
+
+def _make_rp_eclat_np(per, min_ps, min_rec, **_ignored):
+    from repro.core.accel import FastRPEclat
+
+    return FastRPEclat(per, min_ps, min_rec)
+
+
+class _NaiveEngine:
+    """Adapter giving the naive reference miner the engine protocol."""
+
+    def __init__(self, per, min_ps, min_rec):
+        self.per = per
+        self.min_ps = min_ps
+        self.min_rec = min_rec
+        self.last_stats = None
+
+    def mine(self, database):
+        from repro.core.naive import mine_recurring_patterns_naive
+        from repro.obs.counters import MiningStats
+
+        stats = MiningStats()
+        result = mine_recurring_patterns_naive(
+            database, self.per, self.min_ps, self.min_rec, stats=stats
+        )
+        self.last_stats = stats
+        return result
+
+
+def _make_naive(per, min_ps, min_rec, **_ignored):
+    return _NaiveEngine(per, min_ps, min_rec)
+
+
+register_engine(
+    "rp-growth",
+    _make_rp_growth,
+    supports_jobs=True,
+    family="growth",
+    description="the paper's RP-growth algorithm (default)",
+)
+register_engine(
+    "rp-eclat",
+    _make_rp_eclat,
+    supports_jobs=True,
+    family="vertical",
+    description="vertical cross-check engine",
+)
+register_engine(
+    "rp-eclat-np",
+    _make_rp_eclat_np,
+    supports_jobs=True,
+    family="vertical",
+    description="vectorised vertical engine",
+)
+register_engine(
+    "naive",
+    _make_naive,
+    exhaustive=True,
+    family="exhaustive",
+    description="exhaustive reference (small inputs only)",
+)

@@ -4,26 +4,35 @@
 need: it accepts either a :class:`~repro.timeseries.events.EventSequence`
 (a raw time series, converted losslessly to a transactional database
 first) or a :class:`~repro.timeseries.database.TransactionalDatabase`,
-picks an engine and returns a
-:class:`~repro.core.model.RecurringPatternSet`.
+picks an engine from the registry (:mod:`repro.core.engines`) and
+returns a :class:`~repro.core.model.RecurringPatternSet`.
 
-With ``collect_stats=True`` (and friends) the call is additionally
-observed through :mod:`repro.obs`: phase spans (transform, first scan,
-tree build, mining), the engine's shared counters, optional
-``tracemalloc`` peak memory and an optional JSON-lines trace file —
-without changing the mined result in any way.
+Cross-cutting behaviour is configured through two options objects
+(:mod:`repro.core.options`): ``resilience=ResilienceOptions(...)`` for
+the parallel failure handling and
+``observability=ObservabilityOptions(...)`` for telemetry.  The
+pre-existing flat keywords (``timeout=``, ``collect_stats=``, …) still
+work — they are mapped onto the objects with a
+:class:`DeprecationWarning`; mixing a flat keyword with its options
+object raises :class:`~repro.exceptions.ParameterError`.
 """
 
 from __future__ import annotations
 
 import time
-from typing import IO, Optional, Tuple, Union
+import warnings
+from typing import List, Optional, Tuple, Union
 
 from repro._validation import Number
+from repro.core.engines import ENGINES, get_engine
 from repro.core.model import MiningParameters, RecurringPatternSet
-from repro.core.naive import mine_recurring_patterns_naive
-from repro.core.rp_eclat import RPEclat
-from repro.core.rp_growth import RPGrowth
+from repro.core.options import (
+    UNSET,
+    ObservabilityOptions,
+    ResilienceOptions,
+    resolve_observability,
+    resolve_resilience,
+)
 from repro.exceptions import ParameterError
 from repro.obs.counters import MiningStats
 from repro.obs.report import MiningTelemetry, TraceWriter
@@ -32,8 +41,6 @@ from repro.timeseries.database import TransactionalDatabase
 from repro.timeseries.events import EventSequence
 
 __all__ = ["mine_recurring_patterns", "ENGINES"]
-
-ENGINES = ("rp-growth", "rp-eclat", "rp-eclat-np", "naive")
 
 Source = Union[EventSequence, TransactionalDatabase]
 
@@ -46,14 +53,16 @@ def mine_recurring_patterns(
     engine: str = "rp-growth",
     *,
     jobs: Optional[int] = None,
-    timeout: Optional[float] = None,
-    max_retries: int = 2,
-    fallback: str = "serial",
-    fault_plan=None,
-    collect_stats: bool = False,
-    trace: Union[str, IO[str], None] = None,
-    track_memory: bool = False,
-    dataset: Optional[str] = None,
+    resilience: Optional[ResilienceOptions] = None,
+    observability: Optional[ObservabilityOptions] = None,
+    timeout=UNSET,
+    max_retries=UNSET,
+    fallback=UNSET,
+    fault_plan=UNSET,
+    collect_stats=UNSET,
+    trace=UNSET,
+    track_memory=UNSET,
+    dataset=UNSET,
 ) -> Union[
     RecurringPatternSet, Tuple[RecurringPatternSet, MiningTelemetry]
 ]:
@@ -77,58 +86,51 @@ def mine_recurring_patterns(
         Minimum recurrence — the minimum number of interesting
         periodic-intervals a pattern must have (default 1).
     engine:
+        A name from the engine registry (:data:`repro.core.engines.ENGINES`):
         ``"rp-growth"`` (the paper's algorithm, default), ``"rp-eclat"``
         (vertical cross-check engine), ``"rp-eclat-np"`` (vectorised
         vertical engine) or ``"naive"`` (exhaustive; small inputs
-        only).
+        only).  Engines added via
+        :func:`repro.core.engines.register_engine` work here too.
     jobs:
-        Worker-process count for the pruning engines.  ``None`` or
-        ``1`` mines serially (byte-identical to earlier releases);
-        ``jobs > 1`` partitions the search space by prefix and mines
-        it in a process pool (:mod:`repro.parallel`) — the returned
-        pattern set and the merged counters are identical to the
-        serial run's.  The ``naive`` engine does not support
-        ``jobs > 1``.  See ``docs/performance.md`` for when
-        parallelism actually pays.
-    timeout:
-        Per-chunk deadline in seconds for parallel runs (``None``
-        disables deadlines).  Ignored when mining serially.
-    max_retries:
-        How many times a failed parallel chunk is retried before the
-        fallback applies (default 2).  Ignored when mining serially.
-    fallback:
-        ``"serial"`` (default) re-mines terminally failed chunks
-        in-process so the call always returns a complete result;
-        ``"raise"`` raises :class:`~repro.exceptions.ChunkFailedError`
-        naming the missing prefixes and carrying the partial pattern
-        set.  See the "Failure handling" section of
-        ``docs/performance.md``.
-    fault_plan:
-        A :class:`~repro.parallel.faults.FaultPlan` injecting
-        deterministic worker failures — testing hook, leave ``None``
-        in production.
-    collect_stats:
-        Also return a :class:`~repro.obs.report.MiningTelemetry` —
-        phase spans, the engine's counters, total wall-clock — as the
-        second element of a tuple.  The pattern set is identical to an
-        unobserved run.
-    trace:
-        Path (or open text handle) to write a JSON-lines trace to:
-        one record per span plus a final ``repro-run/v1`` run record.
-        Implies telemetry collection; the return value is only a tuple
-        when ``collect_stats`` is also true.
-    track_memory:
-        Sample per-span peak memory via ``tracemalloc`` (slower; only
-        meaningful together with ``collect_stats`` or ``trace``).
-    dataset:
-        Optional dataset label carried into the telemetry/trace.
+        Worker-process count.  ``None`` or ``1`` mines serially
+        (byte-identical to earlier releases); ``jobs > 1`` partitions
+        the search space by prefix and mines it in a process pool
+        (:mod:`repro.parallel`) — the returned pattern set and the
+        merged counters are identical to the serial run's.  Only
+        engines whose registry entry has ``supports_jobs`` accept
+        ``jobs > 1`` (the ``naive`` reference does not).  See
+        ``docs/performance.md`` for when parallelism actually pays.
+    resilience:
+        A :class:`~repro.core.options.ResilienceOptions` bundling the
+        parallel failure-handling knobs (per-chunk ``timeout``,
+        ``max_retries``, ``fallback``, ``fault_plan``).  Ignored when
+        mining serially.
+    observability:
+        An :class:`~repro.core.options.ObservabilityOptions` bundling
+        the telemetry knobs (``collect_stats``, ``trace``,
+        ``track_memory``, ``dataset``).
+    timeout, max_retries, fallback, fault_plan:
+        **Deprecated** flat spellings of the ``resilience`` fields;
+        mapped onto a :class:`ResilienceOptions` with a
+        :class:`DeprecationWarning`.  Mixing them with ``resilience=``
+        raises :class:`~repro.exceptions.ParameterError`.
+    collect_stats, trace, track_memory, dataset:
+        **Deprecated** flat spellings of the ``observability`` fields,
+        handled the same way.
 
     Returns
     -------
     RecurringPatternSet or (RecurringPatternSet, MiningTelemetry)
         Every pattern satisfying Definition 9, each carrying its
-        support, recurrence and interesting periodic-intervals; plus
-        the run telemetry when ``collect_stats`` is true.
+        support, recurrence and interesting periodic-intervals.  The
+        return value is a ``(patterns, telemetry)`` tuple **iff**
+        ``collect_stats`` is true; with ``trace`` alone the full
+        telemetry is still built and written to the trace file, but
+        only the pattern set is returned.  ``track_memory`` without
+        ``collect_stats`` or ``trace`` has nothing to attach its
+        samples to — the call warns (``RuntimeWarning``) and mines
+        without memory tracking instead of silently ignoring it.
 
     Examples
     --------
@@ -137,16 +139,14 @@ def mine_recurring_patterns(
     ...     paper_running_example(), per=2, min_ps=3, min_rec=2)
     >>> print(found.pattern("ab"))
     ab [support=7, recurrence=2, {[1, 4]:3, [11, 14]:3}]
+    >>> from repro import ObservabilityOptions
     >>> found, telemetry = mine_recurring_patterns(
     ...     paper_running_example(), per=2, min_ps=3, min_rec=2,
-    ...     collect_stats=True)
+    ...     observability=ObservabilityOptions(collect_stats=True))
     >>> telemetry.stats.patterns_found
     8
     """
-    if engine not in ENGINES:
-        raise ParameterError(
-            f"unknown engine {engine!r}; expected one of {ENGINES}"
-        )
+    spec = get_engine(engine)
     # Validate the threshold triple eagerly — the engines would reject
     # the same values, but only after the transform span has run (and,
     # for parallel runs, potentially inside a worker).  Constructing
@@ -154,13 +154,31 @@ def mine_recurring_patterns(
     # work starts, with the shared _validation.py messages.
     MiningParameters(per=per, min_ps=min_ps, min_rec=min_rec)
     jobs = _resolve_jobs(jobs, engine)
-    resilience = {
-        "timeout": timeout,
-        "max_retries": max_retries,
-        "fallback": fallback,
-        "fault_plan": fault_plan,
-    }
-    if not (collect_stats or trace is not None):
+    resilience = resolve_resilience(
+        resilience,
+        timeout=timeout,
+        max_retries=max_retries,
+        fallback=fallback,
+        fault_plan=fault_plan,
+    )
+    obs = resolve_observability(
+        observability,
+        collect_stats=collect_stats,
+        trace=trace,
+        track_memory=track_memory,
+        dataset=dataset,
+    )
+    track = obs.track_memory
+    if track and not obs.enabled:
+        warnings.warn(
+            "track_memory=True has no effect without collect_stats or "
+            "trace — no telemetry is collected, so there is nothing to "
+            "attach memory samples to",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        track = False
+    if not obs.enabled:
         with span("transform"):
             database = _as_database(data)
         result, _, _ = _run_engine(
@@ -168,7 +186,7 @@ def mine_recurring_patterns(
         )
         return result
 
-    collector = SpanCollector(track_memory=track_memory)
+    collector = SpanCollector(track_memory=track)
     started = time.perf_counter()
     with collector:
         with span("transform"):
@@ -195,13 +213,13 @@ def mine_recurring_patterns(
         patterns_found=len(result),
         seconds=seconds,
         memory_peak_bytes=collector.memory_peak_bytes,
-        dataset=dataset,
+        dataset=obs.dataset,
         extra=extra,
     )
-    if trace is not None:
-        with TraceWriter(trace) as writer:
+    if obs.trace is not None:
+        with TraceWriter(obs.trace) as writer:
             writer.write_run(telemetry)
-    if collect_stats:
+    if obs.collect_stats:
         return result, telemetry
     return result
 
@@ -212,10 +230,11 @@ def _resolve_jobs(jobs: Optional[int], engine: str) -> int:
         return 1
     if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
         raise ParameterError(f"jobs must be a positive int, got {jobs!r}")
-    if jobs > 1 and engine == "naive":
+    if jobs > 1 and not get_engine(engine).supports_jobs:
         raise ParameterError(
-            "engine 'naive' does not support jobs > 1; it is the "
-            "exhaustive reference and stays single-process by design"
+            f"engine {engine!r} does not support jobs > 1; its registry "
+            "entry lacks the supports_jobs capability (the exhaustive "
+            "reference stays single-process by design)"
         )
     return jobs
 
@@ -227,43 +246,26 @@ def _run_engine(
     min_rec: int,
     engine: str,
     jobs: int = 1,
-    resilience: Optional[dict] = None,
-) -> Tuple[RecurringPatternSet, MiningStats, list]:
-    """Dispatch to an engine: result, counters and the fault log.
+    resilience: Optional[ResilienceOptions] = None,
+) -> Tuple[RecurringPatternSet, MiningStats, List]:
+    """Dispatch through the registry: result, counters, fault log.
 
     The fault log (third element) is always empty for serial runs and
-    for fault-free parallel runs; ``resilience`` carries the
-    supervision knobs (``timeout`` / ``max_retries`` / ``fallback`` /
-    ``fault_plan``) and only applies when ``jobs > 1``.
+    for fault-free parallel runs; ``resilience`` only applies when
+    ``jobs > 1``.
     """
     if jobs > 1:
         from repro.parallel import ParallelMiner
 
         miner = ParallelMiner(
             per, min_ps, min_rec, engine=engine, jobs=jobs,
-            **(resilience or {}),
+            resilience=resilience,
         )
         result = miner.mine(database)
         return result, miner.last_stats or MiningStats(), miner.last_faults
-    if engine == "rp-growth":
-        miner = RPGrowth(per, min_ps, min_rec)
-        result = miner.mine(database)
-        return result, miner.last_stats or MiningStats(), []
-    if engine == "rp-eclat":
-        miner = RPEclat(per, min_ps, min_rec)
-        result = miner.mine(database)
-        return result, miner.last_stats or MiningStats(), []
-    if engine == "rp-eclat-np":
-        from repro.core.accel import FastRPEclat
-
-        miner = FastRPEclat(per, min_ps, min_rec)
-        result = miner.mine(database)
-        return result, miner.last_stats or MiningStats(), []
-    stats = MiningStats()
-    result = mine_recurring_patterns_naive(
-        database, per, min_ps, min_rec, stats=stats
-    )
-    return result, stats, []
+    serial = get_engine(engine).factory(per, min_ps, min_rec)
+    result = serial.mine(database)
+    return result, serial.last_stats or MiningStats(), []
 
 
 def _as_database(data: Source) -> TransactionalDatabase:

@@ -1,0 +1,200 @@
+"""Options objects for the public mining API.
+
+The façade historically accreted one flat keyword per knob — four
+resilience knobs (PR 3) and four observability knobs (PR 1) on top of
+the model thresholds.  These two frozen dataclasses bundle them so
+that every entry point (:func:`repro.mine_recurring_patterns`,
+:func:`repro.sweep.run_sweep`, :class:`repro.parallel.ParallelMiner`,
+the CLI, the bench harness) shares the same vocabulary:
+
+* :class:`ResilienceOptions` — how parallel chunk failures are
+  detected and handled;
+* :class:`ObservabilityOptions` — what is measured and where it is
+  written.
+
+The old flat keywords keep working on the façade through
+:func:`resolve_resilience` / :func:`resolve_observability`, which map
+them onto the objects and emit a :class:`DeprecationWarning`; passing
+a flat keyword *and* the corresponding options object raises
+:class:`~repro.exceptions.ParameterError` (the call would otherwise be
+ambiguous).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import IO, Dict, Optional, Union
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "ObservabilityOptions",
+    "ResilienceOptions",
+    "UNSET",
+    "resolve_observability",
+    "resolve_resilience",
+]
+
+
+class _Unset:
+    """Sentinel distinguishing 'not passed' from any real value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unset>"
+
+
+#: Default for deprecated flat keywords: means "the caller did not
+#: pass this keyword at all".
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class ResilienceOptions:
+    """How parallel mining handles failing chunks (see PR 3's layer).
+
+    Attributes
+    ----------
+    timeout:
+        Per-chunk deadline in seconds (``None`` disables deadlines).
+    max_retries:
+        Failed executions a chunk may accumulate before ``fallback``
+        applies (default 2).
+    fallback:
+        ``"serial"`` (default) re-mines exhausted chunks in-process;
+        ``"raise"`` raises :class:`~repro.exceptions.ChunkFailedError`.
+    fault_plan:
+        A :class:`~repro.parallel.faults.FaultPlan` injecting
+        deterministic worker failures — testing hook.
+
+    All fields are ignored for serial runs (``jobs in (None, 1)``).
+
+    Examples
+    --------
+    >>> ResilienceOptions(timeout=30.0).fallback
+    'serial'
+    """
+
+    timeout: Optional[float] = None
+    max_retries: int = 2
+    fallback: str = "serial"
+    fault_plan: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None:
+            if isinstance(self.timeout, bool) or not isinstance(
+                self.timeout, (int, float)
+            ) or self.timeout <= 0:
+                raise ParameterError(
+                    f"timeout must be a positive number or None, "
+                    f"got {self.timeout!r}"
+                )
+        if isinstance(self.max_retries, bool) or not isinstance(
+            self.max_retries, int
+        ) or self.max_retries < 0:
+            raise ParameterError(
+                f"max_retries must be a non-negative int, "
+                f"got {self.max_retries!r}"
+            )
+        if self.fallback not in ("serial", "raise"):
+            raise ParameterError(
+                f"fallback must be 'serial' or 'raise', "
+                f"got {self.fallback!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ObservabilityOptions:
+    """What one mining run measures and where it is written.
+
+    Attributes
+    ----------
+    collect_stats:
+        Also return a :class:`~repro.obs.report.MiningTelemetry` as
+        the second element of a tuple.
+    trace:
+        Path (or open text handle) for a JSON-lines trace; implies
+        telemetry collection without changing the return type.
+    track_memory:
+        Sample per-span peak memory via ``tracemalloc`` (slower).
+        Only meaningful when telemetry is collected at all — the
+        façade warns and ignores it otherwise.
+    dataset:
+        Optional dataset label carried into the telemetry/trace.
+
+    Examples
+    --------
+    >>> ObservabilityOptions(collect_stats=True).enabled
+    True
+    >>> ObservabilityOptions(track_memory=True).enabled
+    False
+    """
+
+    collect_stats: bool = False
+    trace: Union[str, IO[str], None] = None
+    track_memory: bool = False
+    dataset: Optional[str] = None
+
+    @property
+    def enabled(self) -> bool:
+        """True when telemetry is built at all (stats or trace)."""
+        return bool(self.collect_stats) or self.trace is not None
+
+
+def _resolve(
+    kind: str,
+    options,
+    flat: Dict[str, object],
+    factory,
+    stacklevel: int,
+):
+    passed = {
+        name: value for name, value in flat.items() if value is not UNSET
+    }
+    if not passed:
+        return options if options is not None else factory()
+    if options is not None:
+        raise ParameterError(
+            f"pass either {kind}={factory.__name__}(...) or the flat "
+            f"keyword(s) {sorted(passed)} — not both"
+        )
+    warnings.warn(
+        f"the flat keyword(s) {sorted(passed)} are deprecated; pass "
+        f"{kind}={factory.__name__}(...) instead (see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return factory(**passed)
+
+
+def resolve_resilience(
+    resilience: Optional[ResilienceOptions],
+    *,
+    stacklevel: int = 4,
+    **flat,
+) -> ResilienceOptions:
+    """Merge deprecated flat resilience keywords into one options object.
+
+    ``flat`` values equal to :data:`UNSET` count as "not passed".
+    Emits a :class:`DeprecationWarning` when any flat keyword is used;
+    raises :class:`~repro.exceptions.ParameterError` when both a flat
+    keyword and ``resilience`` are given.
+    """
+    return _resolve(
+        "resilience", resilience, flat, ResilienceOptions, stacklevel
+    )
+
+
+def resolve_observability(
+    observability: Optional[ObservabilityOptions],
+    *,
+    stacklevel: int = 4,
+    **flat,
+) -> ObservabilityOptions:
+    """Merge deprecated flat observability keywords, as above."""
+    return _resolve(
+        "observability", observability, flat, ObservabilityOptions,
+        stacklevel,
+    )

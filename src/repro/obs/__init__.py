@@ -21,11 +21,13 @@ from repro.obs.counters import MiningStats, StatsSource
 from repro.obs.memory import MemoryTracker, peak_memory
 from repro.obs.report import (
     RUN_SCHEMA,
+    SWEEP_SCHEMA,
     MiningTelemetry,
     TraceWriter,
     profile_call,
     read_trace,
     validate_run_record,
+    validate_sweep_record,
 )
 from repro.obs.spans import Span, SpanCollector, current_collector, span
 
@@ -35,11 +37,13 @@ __all__ = [
     "MemoryTracker",
     "peak_memory",
     "RUN_SCHEMA",
+    "SWEEP_SCHEMA",
     "MiningTelemetry",
     "TraceWriter",
     "profile_call",
     "read_trace",
     "validate_run_record",
+    "validate_sweep_record",
     "Span",
     "SpanCollector",
     "current_collector",

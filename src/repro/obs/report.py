@@ -40,12 +40,14 @@ from repro.obs.spans import Span, SpanCollector, span
 __all__ = [
     "QA_SCHEMA",
     "RUN_SCHEMA",
+    "SWEEP_SCHEMA",
     "MiningTelemetry",
     "TraceWriter",
     "profile_call",
     "read_trace",
     "validate_qa_record",
     "validate_run_record",
+    "validate_sweep_record",
 ]
 
 logger = logging.getLogger("repro.obs")
@@ -55,6 +57,9 @@ RUN_SCHEMA = "repro-run/v1"
 
 #: Schema tag carried by every ``repro qa`` gate report.
 QA_SCHEMA = "repro-qa/v1"
+
+#: Schema tag carried by every shared-scan sweep record.
+SWEEP_SCHEMA = "repro-sweep/v1"
 
 #: Top-level keys every ``repro-qa/v1`` record must carry, with types.
 _QA_REQUIRED: Tuple[Tuple[str, type], ...] = (
@@ -216,6 +221,113 @@ def validate_run_record(record: Mapping[str, object]) -> None:
                 raise ValueError(f"run record faults missing {key!r}")
         if not isinstance(faults["events"], list):
             raise ValueError("run record faults 'events' must be a list")
+
+
+#: Keys every ``repro-sweep/v1`` record must carry, with their types.
+_SWEEP_REQUIRED: Tuple[Tuple[str, type], ...] = (
+    ("schema", str),
+    ("kind", str),
+    ("engine", str),
+    ("grid", dict),
+    ("jobs", int),
+    ("seconds", float),
+    ("counters", dict),
+    ("cells", list),
+)
+
+#: Reuse counters every sweep record's ``counters`` section must carry.
+_SWEEP_COUNTERS = (
+    "cells_total",
+    "cells_mined",
+    "cells_derived",
+    "scans_shared",
+)
+
+
+def validate_sweep_record(record: Mapping[str, object]) -> None:
+    """Raise ``ValueError`` unless ``record`` is a valid sweep record.
+
+    The ``repro-sweep/v1`` schema is the machine-readable output of the
+    shared-scan threshold-sweep engine (:mod:`repro.sweep`); it is
+    written through the same :class:`TraceWriter` sink as
+    ``repro-run/v1`` records and consumed the same way by
+    ``BENCH_sweep.json``.  See ``docs/observability.md`` for the
+    field-by-field contract.
+
+    Examples
+    --------
+    >>> validate_sweep_record({"schema": "bogus"})
+    Traceback (most recent call last):
+        ...
+    ValueError: sweep record schema 'bogus' != 'repro-sweep/v1'
+    """
+    schema = record.get("schema")
+    if schema != SWEEP_SCHEMA:
+        raise ValueError(
+            f"sweep record schema {schema!r} != {SWEEP_SCHEMA!r}"
+        )
+    for key, expected in _SWEEP_REQUIRED:
+        if key not in record:
+            raise ValueError(f"sweep record missing required key {key!r}")
+        value = record[key]
+        if expected is float and isinstance(value, int) \
+                and not isinstance(value, bool):
+            value = float(value)
+        if not isinstance(value, expected) or (
+            expected is int and isinstance(value, bool)
+        ):
+            raise ValueError(
+                f"sweep record key {key!r} must be {expected.__name__}, "
+                f"got {type(value).__name__}"
+            )
+    if record["kind"] != "sweep":
+        raise ValueError(
+            f"sweep record kind {record['kind']!r} != 'sweep'"
+        )
+    grid = record["grid"]
+    for axis in ("pers", "min_ps_values", "min_recs"):
+        if axis not in grid:  # type: ignore[operator]
+            raise ValueError(f"sweep record grid missing {axis!r}")
+        if not isinstance(grid[axis], list):  # type: ignore[index]
+            raise ValueError(f"sweep record grid {axis!r} must be a list")
+    counters = record["counters"]
+    for name in _SWEEP_COUNTERS:
+        if name not in counters:  # type: ignore[operator]
+            raise ValueError(f"sweep record counters missing {name!r}")
+        value = counters[name]  # type: ignore[index]
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(
+                f"sweep record counter {name!r} must be int, "
+                f"got {type(value).__name__}"
+            )
+    cells = record["cells"]
+    expected_cells = counters["cells_total"]  # type: ignore[index]
+    if len(cells) != expected_cells:  # type: ignore[arg-type]
+        raise ValueError(
+            f"sweep record has {len(cells)} cells "  # type: ignore[arg-type]
+            f"but counters.cells_total = {expected_cells}"
+        )
+    for cell in cells:  # type: ignore[union-attr]
+        for key in (
+            "params", "patterns_found", "seconds", "derived",
+            "counters", "spans",
+        ):
+            if key not in cell:
+                raise ValueError(f"sweep record cell missing {key!r}")
+        if not isinstance(cell["derived"], bool):
+            raise ValueError("sweep record cell 'derived' must be bool")
+        params = cell["params"]
+        for key in ("per", "min_ps", "min_rec"):
+            if key not in params:
+                raise ValueError(
+                    f"sweep record cell params missing {key!r}"
+                )
+        if cell["derived"] and not cell.get("derived_from"):
+            raise ValueError(
+                "sweep record derived cell must name 'derived_from'"
+            )
+        if not isinstance(cell["spans"], list):
+            raise ValueError("sweep record cell 'spans' must be a list")
 
 
 def validate_qa_record(record: Mapping[str, object]) -> None:

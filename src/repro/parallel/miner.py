@@ -34,11 +34,13 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro._validation import Number
+from repro.core.engines import PARALLEL_ENGINES, get_engine
 from repro.core.model import (
     MiningParameters,
     RecurringPattern,
     RecurringPatternSet,
 )
+from repro.core.options import ResilienceOptions
 from repro.core.rp_list import build_rp_list
 from repro.core.rp_tree import build_rp_tree
 from repro.exceptions import ChunkFailedError, ParameterError
@@ -57,10 +59,11 @@ from repro.timeseries.database import TransactionalDatabase
 
 __all__ = ["ParallelMiner", "PARALLEL_ENGINES", "default_jobs"]
 
-#: Engines the parallel layer can partition.  ``naive`` is excluded by
-#: design: it exists to be an obviously-correct reference, and a
-#: partitioned reference is no longer obviously correct.
-PARALLEL_ENGINES = ("rp-growth", "rp-eclat", "rp-eclat-np")
+# PARALLEL_ENGINES is re-exported from the engine registry
+# (repro.core.engines): the live view over every engine whose spec has
+# ``supports_jobs``.  ``naive`` lacks the capability by design: it
+# exists to be an obviously-correct reference, and a partitioned
+# reference is no longer obviously correct.
 
 
 def default_jobs() -> int:
@@ -117,6 +120,11 @@ class ParallelMiner:
         A :class:`~repro.parallel.faults.FaultPlan` injected into the
         pool workers — deterministic failure for tests.  ``None``
         (default, production) injects nothing.
+    resilience:
+        A :class:`~repro.core.options.ResilienceOptions` bundling
+        ``timeout`` / ``max_retries`` / ``fallback`` / ``fault_plan``
+        — the same object the façade and the sweep engine accept.
+        Mutually exclusive with passing those four knobs flat.
     supervised:
         ``False`` bypasses the resilience layer entirely (raw PR-2
         fan-out: one ``future.result()`` per chunk, a worker crash
@@ -149,6 +157,7 @@ class ParallelMiner:
         fallback: str = "serial",
         retry_backoff: float = 0.05,
         fault_plan: Optional[FaultPlan] = None,
+        resilience: Optional[ResilienceOptions] = None,
         supervised: bool = True,
     ):
         if engine not in PARALLEL_ENGINES:
@@ -156,6 +165,27 @@ class ParallelMiner:
                 f"engine {engine!r} is not parallel-capable; "
                 f"expected one of {PARALLEL_ENGINES}"
             )
+        if resilience is not None:
+            flat = {
+                "timeout": (timeout, None),
+                "max_retries": (max_retries, 2),
+                "fallback": (fallback, "serial"),
+                "fault_plan": (fault_plan, None),
+            }
+            conflicts = sorted(
+                name
+                for name, (value, default) in flat.items()
+                if value != default
+            )
+            if conflicts:
+                raise ParameterError(
+                    f"pass either resilience=ResilienceOptions(...) or "
+                    f"the flat keyword(s) {conflicts} — not both"
+                )
+            timeout = resilience.timeout
+            max_retries = resilience.max_retries
+            fallback = resilience.fallback
+            fault_plan = resilience.fault_plan
         if jobs is None:
             jobs = default_jobs()
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
@@ -205,7 +235,7 @@ class ParallelMiner:
         if len(database) == 0:
             return RecurringPatternSet()
         params = self.params.resolve(len(database))
-        if self.engine == "rp-growth":
+        if get_engine(self.engine).family == "growth":
             return self._mine_growth(database, params, stats)
         return self._mine_vertical(database, params, stats)
 
@@ -399,22 +429,10 @@ class ParallelMiner:
         return context
 
     def _serial_engine(self):
-        if self.engine == "rp-growth":
-            from repro.core.rp_growth import RPGrowth
-
-            return RPGrowth(
-                self.params.per, self.params.min_ps, self.params.min_rec,
-                item_order=self.item_order, max_length=self.max_length,
-            )
-        if self.engine == "rp-eclat":
-            from repro.core.rp_eclat import RPEclat
-
-            return RPEclat(
-                self.params.per, self.params.min_ps, self.params.min_rec,
-                pruning=self.pruning, max_length=self.max_length,
-            )
-        from repro.core.accel import FastRPEclat
-
-        return FastRPEclat(
-            self.params.per, self.params.min_ps, self.params.min_rec
+        # The registry factory accepts the union of engine options and
+        # forwards only what the concrete engine understands.
+        return get_engine(self.engine).factory(
+            self.params.per, self.params.min_ps, self.params.min_rec,
+            item_order=self.item_order, pruning=self.pruning,
+            max_length=self.max_length,
         )

@@ -34,9 +34,9 @@ from typing import (
     Union,
 )
 
+from repro.core.engines import PARALLEL_ENGINES, get_engine
 from repro.core.miner import mine_recurring_patterns
 from repro.core.naive import mine_recurring_patterns_naive
-from repro.parallel import PARALLEL_ENGINES
 from repro.timeseries.database import TransactionalDatabase
 
 __all__ = [
@@ -322,7 +322,7 @@ def check_case(
     failures: List[DifferentialFailure] = []
     for engine in engines:
         for jobs in jobs_values:
-            if jobs > 1 and engine not in PARALLEL_ENGINES:
+            if jobs > 1 and not get_engine(engine).supports_jobs:
                 continue
             checks += 1
             got = mine_canonical(rows, params, engine, jobs)

@@ -26,8 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.miner import ENGINES
-from repro.parallel import PARALLEL_ENGINES
+from repro.core.engines import ENGINES, PARALLEL_ENGINES
 from repro.qa.differential import (
     BASE_SEED,
     DifferentialResult,

@@ -25,6 +25,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.engines import ENGINES, get_engine
 from repro.core.model import PeriodicInterval
 from repro.exceptions import DataFormatError
 from repro.qa.differential import CaseParams, canonical, mine_canonical
@@ -50,8 +51,12 @@ __all__ = [
 #: Schema tag carried by every golden snapshot file.
 GOLDEN_SCHEMA = "repro-qa-golden/v1"
 
-#: Engines cheap enough to re-mine every golden case on every gate run.
-_PRUNING_ENGINES = ("rp-growth", "rp-eclat", "rp-eclat-np")
+#: Engines cheap enough to re-mine every golden case on every gate run:
+#: every registered non-exhaustive engine (the exhaustive reference is
+#: opted in per case, as the running example does below).
+_PRUNING_ENGINES = tuple(
+    name for name in ENGINES if not get_engine(name).exhaustive
+)
 
 
 @dataclass(frozen=True)

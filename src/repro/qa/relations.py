@@ -59,9 +59,8 @@ from typing import (
 import random
 
 from repro._validation import resolve_count_threshold
-from repro.core.miner import ENGINES
+from repro.core.engines import ENGINES, get_engine
 from repro.core.model import PeriodicInterval
-from repro.parallel import PARALLEL_ENGINES
 from repro.qa.differential import (
     BASE_SEED,
     CaseParams,
@@ -418,14 +417,14 @@ def engine_matrix(
 ) -> List[Tuple[str, int]]:
     """Every (engine, jobs) combination the qa gate must exercise.
 
-    The ``naive`` engine is single-process by design, so it appears
-    with ``jobs=1`` only; the pruning engines appear at every requested
-    ``jobs`` level.
+    Engines without the registry's ``supports_jobs`` capability (the
+    single-process ``naive`` reference) appear with ``jobs=1`` only;
+    the rest appear at every requested ``jobs`` level.
     """
     matrix = []
     for engine in engines:
         for jobs in jobs_values:
-            if jobs > 1 and engine not in PARALLEL_ENGINES:
+            if jobs > 1 and not get_engine(engine).supports_jobs:
                 continue
             matrix.append((engine, jobs))
     return matrix

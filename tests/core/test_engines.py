@@ -1,0 +1,142 @@
+"""The engine registry: specs, views, capability-driven behaviour."""
+
+import pytest
+
+from repro.core.engines import (
+    ENGINES,
+    PARALLEL_ENGINES,
+    EngineSpec,
+    EngineView,
+    engine_names,
+    get_engine,
+    register_engine,
+    unregister_engine,
+)
+from repro.core.miner import mine_recurring_patterns
+from repro.datasets import paper_running_example
+from repro.exceptions import ParameterError
+
+
+class TestRegistry:
+    def test_builtin_engines_in_order(self):
+        assert tuple(ENGINES) == (
+            "rp-growth", "rp-eclat", "rp-eclat-np", "naive"
+        )
+        assert tuple(PARALLEL_ENGINES) == (
+            "rp-growth", "rp-eclat", "rp-eclat-np"
+        )
+
+    def test_get_engine_returns_spec(self):
+        spec = get_engine("rp-growth")
+        assert isinstance(spec, EngineSpec)
+        assert spec.supports_jobs
+        assert spec.family == "growth"
+        assert not spec.exhaustive
+
+    def test_naive_capabilities(self):
+        spec = get_engine("naive")
+        assert spec.exhaustive
+        assert not spec.supports_jobs
+
+    def test_unknown_engine_message(self):
+        with pytest.raises(ParameterError, match="unknown engine 'bogus'"):
+            get_engine("bogus")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ParameterError, match="already registered"):
+            register_engine("rp-growth", lambda *a, **k: None)
+
+    def test_register_and_unregister_roundtrip(self):
+        spec = register_engine(
+            "test-dummy", lambda *a, **k: None, description="test only"
+        )
+        try:
+            assert "test-dummy" in ENGINES
+            assert get_engine("test-dummy") is spec
+            # Not parallel-capable by default.
+            assert "test-dummy" not in PARALLEL_ENGINES
+        finally:
+            unregister_engine("test-dummy")
+        assert "test-dummy" not in ENGINES
+
+    def test_spec_validation(self):
+        with pytest.raises(ParameterError, match="name"):
+            EngineSpec(name="", factory=lambda: None)
+        with pytest.raises(ParameterError, match="callable"):
+            EngineSpec(name="x", factory="not-callable")
+        with pytest.raises(ParameterError, match="family"):
+            EngineSpec(name="x", factory=lambda: None, family="magic")
+
+
+class TestEngineView:
+    def test_behaves_like_a_tuple(self):
+        assert len(ENGINES) == 4
+        assert ENGINES[0] == "rp-growth"
+        assert "naive" in ENGINES
+        assert ENGINES == ("rp-growth", "rp-eclat", "rp-eclat-np", "naive")
+        assert list(ENGINES) == list(engine_names())
+
+    def test_concatenates_like_a_tuple(self):
+        combined = PARALLEL_ENGINES + ("naive",)
+        assert isinstance(combined, tuple)
+        assert combined == tuple(ENGINES)
+        assert ("x",) + PARALLEL_ENGINES == ("x",) + tuple(PARALLEL_ENGINES)
+
+    def test_view_is_live(self):
+        view = EngineView()
+        before = len(view)
+        register_engine("test-live", lambda *a, **k: None)
+        try:
+            assert len(view) == before + 1
+            assert "test-live" in ENGINES
+        finally:
+            unregister_engine("test-live")
+        assert len(view) == before
+
+
+class _ReversingEngine:
+    """A toy engine: delegates to rp-growth (capability demo)."""
+
+    def __init__(self, per, min_ps, min_rec):
+        from repro.core.rp_growth import RPGrowth
+
+        self._inner = RPGrowth(per, min_ps, min_rec)
+        self.last_stats = None
+
+    def mine(self, database):
+        result = self._inner.mine(database)
+        self.last_stats = self._inner.last_stats
+        return result
+
+
+class TestCapabilityDrivenDispatch:
+    def test_naive_jobs_rejection_is_capability_driven(self):
+        with pytest.raises(
+            ParameterError, match="'naive' does not support jobs > 1"
+        ):
+            mine_recurring_patterns(
+                paper_running_example(), per=2, min_ps=3, min_rec=2,
+                engine="naive", jobs=2,
+            )
+
+    def test_registered_engine_mines_through_facade(self):
+        register_engine(
+            "test-delegate",
+            lambda per, min_ps, min_rec, **_: _ReversingEngine(
+                per, min_ps, min_rec
+            ),
+        )
+        try:
+            found = mine_recurring_patterns(
+                paper_running_example(), per=2, min_ps=3, min_rec=2,
+                engine="test-delegate",
+            )
+            assert len(found) == 8
+            # No supports_jobs flag -> parallel runs are refused.
+            with pytest.raises(ParameterError, match="supports_jobs"):
+                mine_recurring_patterns(
+                    paper_running_example(), per=2, min_ps=3, min_rec=2,
+                    engine="test-delegate", jobs=2,
+                )
+        finally:
+            unregister_engine("test-delegate")

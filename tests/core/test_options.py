@@ -1,0 +1,147 @@
+"""Options-object façade: objects, deprecation shim, conflict rules."""
+
+import warnings
+
+import pytest
+
+from repro import (
+    ObservabilityOptions,
+    ResilienceOptions,
+    mine_recurring_patterns,
+)
+from repro.core.options import (
+    UNSET,
+    resolve_observability,
+    resolve_resilience,
+)
+from repro.datasets import paper_running_example
+from repro.exceptions import ParameterError
+
+
+class TestResilienceOptions:
+    def test_defaults(self):
+        options = ResilienceOptions()
+        assert options.timeout is None
+        assert options.max_retries == 2
+        assert options.fallback == "serial"
+        assert options.fault_plan is None
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ResilienceOptions().timeout = 5.0
+
+    @pytest.mark.parametrize("timeout", [0, -1, "soon", True])
+    def test_bad_timeout(self, timeout):
+        with pytest.raises(ParameterError, match="timeout"):
+            ResilienceOptions(timeout=timeout)
+
+    @pytest.mark.parametrize("retries", [-1, 1.5, "two", True])
+    def test_bad_max_retries(self, retries):
+        with pytest.raises(ParameterError, match="max_retries"):
+            ResilienceOptions(max_retries=retries)
+
+    def test_bad_fallback(self):
+        with pytest.raises(ParameterError, match="fallback"):
+            ResilienceOptions(fallback="ignore")
+
+
+class TestObservabilityOptions:
+    def test_defaults_disabled(self):
+        options = ObservabilityOptions()
+        assert not options.enabled
+        assert options.dataset is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(collect_stats=True), dict(trace="trace.jsonl")],
+    )
+    def test_enabled_by_stats_or_trace(self, kwargs):
+        assert ObservabilityOptions(**kwargs).enabled
+
+    def test_track_memory_alone_is_not_enabled(self):
+        assert not ObservabilityOptions(track_memory=True).enabled
+
+
+class TestResolveShims:
+    def test_no_inputs_yield_defaults(self):
+        assert resolve_resilience(None) == ResilienceOptions()
+        assert resolve_observability(None) == ObservabilityOptions()
+
+    def test_object_passes_through_unchanged(self):
+        options = ResilienceOptions(timeout=9.0)
+        assert resolve_resilience(options) is options
+
+    def test_flat_keyword_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="timeout"):
+            options = resolve_resilience(None, timeout=9.0)
+        assert options == ResilienceOptions(timeout=9.0)
+
+    def test_unset_flat_keyword_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            options = resolve_resilience(None, timeout=UNSET)
+        assert options == ResilienceOptions()
+
+    def test_flat_plus_object_conflict(self):
+        with pytest.raises(ParameterError, match="not both"):
+            resolve_resilience(
+                ResilienceOptions(), timeout=9.0
+            )
+
+
+class TestFacadeIntegration:
+    def test_options_objects_accepted_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            found, telemetry = mine_recurring_patterns(
+                paper_running_example(), per=2, min_ps=3, min_rec=2,
+                resilience=ResilienceOptions(max_retries=1),
+                observability=ObservabilityOptions(collect_stats=True),
+            )
+        assert len(found) == 8
+        assert telemetry.stats.patterns_found == 8
+
+    def test_flat_kwargs_still_work_with_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="collect_stats"):
+            found, telemetry = mine_recurring_patterns(
+                paper_running_example(), per=2, min_ps=3, min_rec=2,
+                collect_stats=True,
+            )
+        assert len(found) == 8
+
+    def test_flat_and_object_mix_raises(self):
+        with pytest.raises(ParameterError, match="not both"):
+            mine_recurring_patterns(
+                paper_running_example(), per=2, min_ps=3, min_rec=2,
+                observability=ObservabilityOptions(collect_stats=True),
+                collect_stats=True,
+            )
+        with pytest.raises(ParameterError, match="not both"):
+            mine_recurring_patterns(
+                paper_running_example(), per=2, min_ps=3, min_rec=2,
+                resilience=ResilienceOptions(),
+                timeout=5.0,
+            )
+
+    def test_track_memory_without_telemetry_warns(self):
+        """Regression pin: this used to silently do nothing."""
+        with pytest.warns(
+            RuntimeWarning, match="track_memory=True has no effect"
+        ):
+            found = mine_recurring_patterns(
+                paper_running_example(), per=2, min_ps=3, min_rec=2,
+                observability=ObservabilityOptions(track_memory=True),
+            )
+        # The warning does not change the return contract.
+        assert len(found) == 8
+
+    def test_track_memory_with_stats_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            found, telemetry = mine_recurring_patterns(
+                paper_running_example(), per=2, min_ps=3, min_rec=2,
+                observability=ObservabilityOptions(
+                    collect_stats=True, track_memory=True
+                ),
+            )
+        assert telemetry.memory_peak_bytes is not None

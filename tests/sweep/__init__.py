@@ -1,0 +1,1 @@
+"""Tests for the shared-scan threshold-sweep engine."""

@@ -1,0 +1,94 @@
+"""End-to-end tests for the ``repro-mine sweep`` subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import paper_running_example
+from repro.obs import read_trace, validate_sweep_record
+from repro.timeseries.io import save_transactional_database
+
+
+@pytest.fixture
+def example_file(tmp_path):
+    path = tmp_path / "example.tsv"
+    save_transactional_database(paper_running_example(), path)
+    return str(path)
+
+
+class TestSweepCommand:
+    def test_sweep_prints_grid_and_reuse(self, example_file, capsys):
+        code = main([
+            "sweep", "--input", example_file,
+            "--pers", "1", "2", "--min-ps", "3", "--min-recs", "1", "2",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "sweep (rp-growth)" in captured.out
+        assert "derived" in captured.out
+        assert "mined" in captured.out
+        assert "derived by the min_rec theorem" in captured.err
+
+    def test_sweep_writes_valid_trace(self, example_file, tmp_path, capsys):
+        trace = str(tmp_path / "sweep.jsonl")
+        code = main([
+            "sweep", "--input", example_file,
+            "--pers", "2", "--min-ps", "3", "--min-recs", "1", "2",
+            "--trace-out", trace,
+        ])
+        assert code == 0
+        records = [
+            r for r in read_trace(trace)
+            if r.get("schema") == "repro-sweep/v1"
+        ]
+        assert len(records) == 1
+        validate_sweep_record(records[0])
+        assert records[0]["counters"]["cells_derived"] == 1
+
+    def test_sweep_no_derive_mines_everything(self, example_file, capsys):
+        code = main([
+            "sweep", "--input", example_file,
+            "--pers", "2", "--min-ps", "3", "--min-recs", "1", "2",
+            "--no-derive",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "2 mined, 0 derived" in captured.err
+
+    def test_sweep_profile_prints_phases(self, example_file, capsys):
+        code = main([
+            "sweep", "--input", example_file,
+            "--pers", "2", "--min-ps", "3", "--min-recs", "1",
+            "--profile",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "phase totals" in captured.err
+        assert "transform" in captured.err
+
+    def test_sweep_generated_dataset(self, capsys):
+        code = main([
+            "sweep", "--dataset", "quest", "--scale", "0.01",
+            "--pers", "360", "--min-ps", "0.01", "--min-recs", "1",
+        ])
+        assert code == 0
+        assert "quest: sweep" in capsys.readouterr().out
+
+    def test_input_and_dataset_are_exclusive(self, example_file, capsys):
+        code = main([
+            "sweep", "--input", example_file, "--dataset", "quest",
+            "--pers", "2", "--min-ps", "3",
+        ])
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_neither_input_nor_dataset(self, capsys):
+        code = main(["sweep", "--pers", "2", "--min-ps", "3"])
+        assert code == 2
+
+    def test_duplicate_axis_reports_error(self, example_file, capsys):
+        code = main([
+            "sweep", "--input", example_file,
+            "--pers", "2", "2", "--min-ps", "3",
+        ])
+        assert code == 1
+        assert "duplicates" in capsys.readouterr().err

@@ -1,0 +1,118 @@
+"""Sweep/façade equivalence across the full engine × jobs matrix.
+
+The sweep engine's whole contract is "same answers, less work": for
+every grid cell, its pattern set must be byte-identical (canonical
+view, which covers items, support, recurrence and every interval) to
+what an independent ``mine_recurring_patterns`` call produces — for
+every registered engine, serial and parallel, with and without the
+min_rec derivation layer.
+"""
+
+import pytest
+
+from repro.core.miner import mine_recurring_patterns
+from repro.datasets import paper_running_example
+from repro.qa.differential import canonical
+from repro.qa.relations import engine_matrix
+from repro.sweep import SweepPlan, run_sweep
+
+PERS = (1, 2)
+MIN_PS_VALUES = (1, 3)
+MIN_RECS = (1, 2)
+
+MATRIX = engine_matrix(jobs_values=(1, 2))
+
+
+@pytest.mark.parametrize(
+    "engine,jobs", MATRIX, ids=[f"{e}-jobs{j}" for e, j in MATRIX]
+)
+def test_sweep_matches_facade_everywhere(engine, jobs):
+    database = paper_running_example()
+    plan = SweepPlan(
+        pers=PERS,
+        min_ps_values=MIN_PS_VALUES,
+        min_recs=MIN_RECS,
+        engine=engine,
+        jobs=jobs,
+    )
+    result = run_sweep(database, plan)
+    assert result.cells_total == plan.cell_count
+    # The derivation layer must actually engage on a min_rec-varying
+    # grid — otherwise this test silently stops covering it.
+    assert result.cells_derived > 0
+    assert result.cells_mined + result.cells_derived == plan.cell_count
+    for per, min_ps, min_rec in plan.cells():
+        independent = mine_recurring_patterns(
+            database, per, min_ps, min_rec, engine=engine, jobs=jobs
+        )
+        assert canonical(result.pattern_set(per, min_ps, min_rec)) == (
+            canonical(independent)
+        ), (engine, jobs, per, min_ps, min_rec)
+
+
+@pytest.mark.parametrize("engine", sorted({e for e, _ in MATRIX}))
+def test_no_derive_sweep_is_also_identical(engine):
+    database = paper_running_example()
+    plan = SweepPlan(
+        pers=(2,),
+        min_ps_values=(3,),
+        min_recs=(1, 2),
+        engine=engine,
+        derive_min_rec=False,
+    )
+    result = run_sweep(database, plan)
+    assert result.cells_derived == 0
+    assert result.cells_mined == plan.cell_count
+    for per, min_ps, min_rec in plan.cells():
+        independent = mine_recurring_patterns(
+            database, per, min_ps, min_rec, engine=engine
+        )
+        assert canonical(result.pattern_set(per, min_ps, min_rec)) == (
+            canonical(independent)
+        )
+
+
+def test_derived_and_mined_cells_agree_with_each_other():
+    """The same grid with and without derivation is cell-for-cell equal."""
+    database = paper_running_example()
+    axes = dict(pers=(1, 2), min_ps_values=(2, 3), min_recs=(1, 2, 3))
+    derived = run_sweep(database, SweepPlan(**axes))
+    mined = run_sweep(database, SweepPlan(derive_min_rec=False, **axes))
+    for key in derived.plan.cells():
+        assert canonical(derived.patterns[key]) == canonical(
+            mined.patterns[key]
+        ), key
+
+
+def test_reuse_counters_add_up():
+    database = paper_running_example()
+    plan = SweepPlan(
+        pers=(1, 2), min_ps_values=(2, 3), min_recs=(1, 2, 3)
+    )
+    result = run_sweep(database, plan)
+    # One mine per (per, min_ps) column, the rest derived.
+    assert result.cells_mined == len(plan.pers) * len(plan.min_ps_values)
+    assert result.cells_derived == plan.cell_count - result.cells_mined
+    assert result.scans_shared == result.cells_mined - 1
+    # Every derived cell names a base cell at the loosest min_rec of
+    # its own column.
+    loosest = min(plan.min_recs)
+    for key, base in result.derived_from.items():
+        if base is None:
+            continue
+        assert base == (key[0], key[1], loosest)
+
+
+def test_event_sequence_input_is_transformed_once():
+    """run_sweep accepts raw events and still matches the façade."""
+    from repro.datasets import paper_running_example_events
+
+    events = paper_running_example_events()
+    result = run_sweep(
+        events, SweepPlan(pers=(2,), min_ps_values=(3,), min_recs=(2,))
+    )
+    assert result.transform_seconds > 0
+    independent = mine_recurring_patterns(
+        paper_running_example_events(), per=2, min_ps=3, min_rec=2
+    )
+    assert canonical(result.pattern_set(2, 3, 2)) == canonical(independent)
