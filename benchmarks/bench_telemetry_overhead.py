@@ -9,28 +9,44 @@ dataset, the paper's Table 4 thresholds) and *fails* when full
 telemetry collection (``collect_stats=True``) costs more than 5% over
 a plain ``mine_recurring_patterns`` call.
 
+The same budget applies to the *live* mode — a run with a progress
+reporter and a periodic metrics emitter attached (the ``--progress
+--metrics-out`` CLI configuration).  That path adds a monitor call per
+phase and a rate-limited snapshot, so it must stay just as cheap.
+
 It also seeds the machine-readable perf trajectory: the measured runs
 are written to ``BENCH_telemetry.json`` at the repository root — one
 ``repro-run/v1`` record per (dataset, mode), wrapped in the
 ``repro-bench/v1`` envelope documented in ``docs/observability.md``.
 """
 
+import io
 import json
 import pathlib
+import statistics
 import time
 
 import pytest
 
 from repro.bench.reporting import format_table
 from repro.core.miner import mine_recurring_patterns
+from repro.core.options import ObservabilityOptions
+from repro.obs.metrics import MetricsEmitter, MetricsRegistry
+from repro.obs.progress import MiningMonitor, ProgressReporter
 from repro.obs.report import validate_run_record
 
 #: Allowed slowdown of an instrumented run (fraction of plain runtime).
 MAX_OVERHEAD = 0.05
 #: Absolute grace per run; perf_counter jitter dominates below this.
-ABSOLUTE_SLACK_SECONDS = 0.005
-#: Best-of repetitions per (dataset, mode).
-REPEATS = 7
+#: On a contended machine the per-round spread of a sub-100ms run is
+#: tens of milliseconds, so the slack must cover that floor — the
+#: relative gate still binds on the second-scale quest cell.
+ABSOLUTE_SLACK_SECONDS = 0.02
+#: Timed rounds per dataset.  Each round runs every mode back-to-back
+#: (see _time_interleaved); the overhead estimate is the median of the
+#: per-round ratios, so a load spike inflates one round's numerator
+#: *and* denominator instead of skewing the comparison.
+REPEATS = 11
 
 #: One representative Table 4/5 cell per dataset.
 SETTINGS = {
@@ -42,26 +58,64 @@ SETTINGS = {
 BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_telemetry.json"
 
 
-def _best_of(fn, repeats=REPEATS):
-    best = float("inf")
-    result = None
+def _time_interleaved(fns, repeats=REPEATS):
+    """Per-round timings with the modes interleaved round-robin.
+
+    Measuring each mode in its own block makes the comparison hostage
+    to machine drift (a noisy neighbour during one block skews only
+    that mode); cycling plain → instrumented → live each round exposes
+    every mode to the same load profile.  Returns one list of round
+    times per mode, plus each mode's last result.
+    """
+    times = [[] for _ in fns]
+    results = [None] * len(fns)
     for _ in range(repeats):
-        started = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - started)
-    return best, result
+        for index, fn in enumerate(fns):
+            started = time.perf_counter()
+            results[index] = fn()
+            times[index].append(time.perf_counter() - started)
+    return times, results
+
+
+def _overhead(base_times, mode_times):
+    """Median of the per-round slowdown ratios, as a fraction.
+
+    The paired ratio cancels whatever slowed a given round (GC, CPU
+    contention); the median then discards the rounds where a spike hit
+    only one of the pair.  Far more stable than comparing two per-mode
+    minima on a busy machine.
+    """
+    ratios = [
+        mode / base for base, mode in zip(base_times, mode_times)
+    ]
+    return statistics.median(ratios) - 1.0
+
+
+def _mine_live(db, params):
+    monitor = MiningMonitor(
+        reporter=ProgressReporter(io.StringIO(), min_interval=0.0),
+        emitter=MetricsEmitter(MetricsRegistry(), io.StringIO(), interval=0.5),
+    )
+    try:
+        return mine_recurring_patterns(
+            db, **params,
+            observability=ObservabilityOptions(monitor=monitor),
+        )
+    finally:
+        monitor.close()
 
 
 def _measure(db, params):
-    plain_seconds, plain = _best_of(
-        lambda: mine_recurring_patterns(db, **params)
-    )
-    instrumented_seconds, observed = _best_of(
-        lambda: mine_recurring_patterns(db, **params, collect_stats=True)
-    )
+    times, results = _time_interleaved([
+        lambda: mine_recurring_patterns(db, **params),
+        lambda: mine_recurring_patterns(db, **params, collect_stats=True),
+        lambda: _mine_live(db, params),
+    ])
+    plain, observed, live = results
     found, telemetry = observed
     assert len(found) == len(plain)  # telemetry never changes the result
-    return plain_seconds, instrumented_seconds, telemetry
+    assert len(live) == len(plain)  # neither does live reporting
+    return times, telemetry
 
 
 def test_telemetry_overhead(record_artifact, request):
@@ -70,23 +124,33 @@ def test_telemetry_overhead(record_artifact, request):
     failures = []
     for dataset, params in sorted(SETTINGS.items()):
         db = request.getfixturevalue(f"{dataset}_db")
-        plain, instrumented, telemetry = _measure(db, params)
-        overhead = instrumented / plain - 1.0
-        budget = plain * (1.0 + MAX_OVERHEAD) + ABSOLUTE_SLACK_SECONDS
-        if instrumented > budget:
-            failures.append((dataset, plain, instrumented, overhead))
+        times, telemetry = _measure(db, params)
+        plain_times, instrumented_times, live_times = times
+        plain = min(plain_times)
+        instrumented = min(instrumented_times)
+        live = min(live_times)
+        overhead = _overhead(plain_times, instrumented_times)
+        live_overhead = _overhead(plain_times, live_times)
+        slack = ABSOLUTE_SLACK_SECONDS / plain
+        if overhead > MAX_OVERHEAD + slack:
+            failures.append((dataset, "stats", plain, overhead))
+        if live_overhead > MAX_OVERHEAD + slack:
+            failures.append((dataset, "live", plain, live_overhead))
         rows.append(
             (
                 dataset,
                 f"{plain:.6f}",
                 f"{instrumented:.6f}",
                 f"{overhead * 100:+.2f}%",
+                f"{live:.6f}",
+                f"{live_overhead * 100:+.2f}%",
                 telemetry.patterns_found,
             )
         )
         telemetry.dataset = dataset
         record = telemetry.as_run_record()
         record["plain_seconds"] = plain
+        record["live_seconds"] = live
         validate_run_record(record)
         runs.append(record)
 
@@ -96,10 +160,15 @@ def test_telemetry_overhead(record_artifact, request):
             "plain (s)",
             "instrumented (s)",
             "overhead",
+            "live (s)",
+            "live overhead",
             "patterns",
         ],
         rows,
-        title="Telemetry overhead (best of %d)" % REPEATS,
+        title=(
+            "Telemetry overhead (best-of seconds, median-ratio "
+            "overhead, %d rounds)" % REPEATS
+        ),
     )
     record_artifact("telemetry_overhead", table)
     BENCH_PATH.write_text(

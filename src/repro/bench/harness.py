@@ -29,7 +29,7 @@ from repro.baselines.pf_growth import mine_periodic_frequent_patterns
 from repro.baselines.ppattern import mine_p_patterns
 from repro.bench.reporting import format_series, format_table
 from repro.core.miner import mine_recurring_patterns
-from repro.core.options import ResilienceOptions
+from repro.core.options import ObservabilityOptions, ResilienceOptions
 from repro.obs.counters import MiningStats
 from repro.sweep import SweepPlan, SweepResult, run_sweep
 from repro.timeseries.database import TransactionalDatabase
@@ -127,6 +127,7 @@ def sweep_pattern_counts(
     engine: str = "rp-growth",
     jobs: int = 1,
     resilience: Optional[ResilienceOptions] = None,
+    observability: Optional[ObservabilityOptions] = None,
 ) -> GridResult:
     """Count recurring patterns over the full parameter grid (Table 5).
 
@@ -140,6 +141,8 @@ def sweep_pattern_counts(
     pruning effectiveness without re-mining.  With ``jobs > 1`` every
     mined cell runs through the parallel layer under chunk supervision;
     ``resilience`` carries the per-chunk timeout/retry/fallback knobs.
+    ``observability`` is forwarded to :func:`repro.sweep.run_sweep`
+    verbatim — live progress/metrics on a long grid included.
     """
     sweep = run_sweep(
         database,
@@ -152,6 +155,7 @@ def sweep_pattern_counts(
             resilience=resilience or ResilienceOptions(),
         ),
         dataset=dataset,
+        observability=observability,
     )
     return _as_grid(sweep, metric="count")
 
@@ -166,6 +170,7 @@ def sweep_runtime(
     repeats: int = 1,
     jobs: int = 1,
     resilience: Optional[ResilienceOptions] = None,
+    observability: Optional[ObservabilityOptions] = None,
 ) -> GridResult:
     """Measure mining wall-clock over the parameter grid (Table 7).
 
@@ -179,6 +184,9 @@ def sweep_runtime(
     grid instead of collapsing to a filter for derived cells.
     ``jobs > 1`` times the parallel layer instead of the serial engine
     (the wall-clock then includes pool start-up per cell).
+    ``observability`` is forwarded to :func:`repro.sweep.run_sweep`
+    verbatim; note a progress reporter writes to stderr, never into
+    the timed mining spans.
     """
     sweep = run_sweep(
         database,
@@ -193,6 +201,7 @@ def sweep_runtime(
             resilience=resilience or ResilienceOptions(),
         ),
         dataset=dataset,
+        observability=observability,
     )
     return _as_grid(sweep, metric="seconds")
 

@@ -19,6 +19,16 @@ Subcommands
 ``qa``
     Run the conformance gate (metamorphic relations, golden corpus,
     differential sweep) and emit a ``repro-qa/v1`` report.
+``trace``
+    Analyze a JSON-lines trace (any mix of ``repro-run/v1``,
+    ``repro-sweep/v1``, ``repro-qa/v1`` and ``repro-metrics/v1``
+    records): span tree, per-phase aggregates, critical path, and —
+    with ``--compare`` — an A/B delta table between two traces.
+
+Every long-running subcommand takes ``--progress``/``--no-progress``
+(default: progress is on only when stderr is a TTY) and the mining
+ones take ``--metrics-out`` for periodic ``repro-metrics/v1``
+snapshots.
 """
 
 from __future__ import annotations
@@ -26,7 +36,8 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
-from typing import List, Optional, Sequence
+import time
+from typing import Callable, List, Optional, Sequence
 
 from repro.bench.harness import (
     compare_models,
@@ -99,6 +110,35 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         "fallback kicks in (default 2; only meaningful with "
         "--jobs > 1)",
     )
+
+
+def _add_progress_flag(
+    parser: argparse.ArgumentParser, metrics: bool = False
+) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--progress",
+        action="store_true",
+        dest="progress",
+        default=None,
+        help="live progress/ETA lines on stderr "
+        "(default: on only when stderr is a TTY)",
+    )
+    group.add_argument(
+        "--no-progress",
+        action="store_false",
+        dest="progress",
+        help="disable live progress even on a TTY",
+    )
+    if metrics:
+        parser.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="write periodic repro-metrics/v1 snapshots (JSON "
+            "lines: counters, gauges, histograms — see "
+            "docs/observability.md)",
+        )
 
 
 def _add_profiling_flags(
@@ -411,14 +451,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="report failures without greedily shrinking them (faster)",
     )
 
+    trace = commands.add_parser(
+        "trace",
+        help="analyze a JSON-lines trace (span tree, phase "
+        "aggregates, critical path, A/B comparison)",
+    )
+    trace.add_argument(
+        "--input",
+        required=True,
+        metavar="PATH",
+        help="trace file: any mix of repro-run/v1, repro-sweep/v1, "
+        "repro-qa/v1 and repro-metrics/v1 lines",
+    )
+    trace.add_argument(
+        "--compare",
+        default=None,
+        metavar="PATH",
+        help="second trace; print a per-phase A/B table with percent "
+        "deltas instead of the single-trace report",
+    )
+
     for sub in (
-        mine, generate, stats, bench, sweep, compare, rules, baseline, qa
+        mine, generate, stats, bench, sweep, compare, rules, baseline,
+        qa, trace,
     ):
         _add_logging_flag(sub)
     _add_profiling_flags(mine)
     _add_profiling_flags(baseline)
     _add_profiling_flags(bench, memory=False)
     _add_profiling_flags(sweep)
+    for sub in (mine, bench, sweep):
+        _add_progress_flag(sub, metrics=True)
+    for sub in (baseline, qa):
+        _add_progress_flag(sub)
     for sub in (mine, bench, sweep, baseline):
         _add_jobs_flag(sub)
     return parser
@@ -453,6 +518,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_baseline(args)
         if args.command == "qa":
             return _cmd_qa(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -487,22 +554,29 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         if profiling:
             from repro.obs import TraceWriter, profile_call
 
-            found, telemetry = profile_call(
-                run_noise_miner,
-                engine="noise-tolerant",
-                params={
-                    "per": args.per,
-                    "min_ps": args.min_ps,
-                    "min_rec": args.min_rec,
-                    "max_faults": args.max_faults,
-                },
-                track_memory=args.track_memory,
+            found, telemetry = _monitored_call(
+                args,
+                "noise-tolerant",
+                lambda: profile_call(
+                    run_noise_miner,
+                    engine="noise-tolerant",
+                    params={
+                        "per": args.per,
+                        "min_ps": args.min_ps,
+                        "min_rec": args.min_rec,
+                        "max_faults": args.max_faults,
+                    },
+                    track_memory=args.track_memory,
+                ),
+                count=lambda pair: len(pair[0]),
             )
             if args.trace_out:
                 with TraceWriter(args.trace_out) as writer:
                     writer.write_run(telemetry)
         else:
-            found = run_noise_miner()
+            found = _monitored_call(
+                args, "noise-tolerant", run_noise_miner
+            )
     elif profiling:
         found, telemetry = mine_recurring_patterns(
             database,
@@ -516,6 +590,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 collect_stats=True,
                 trace=args.trace_out,
                 track_memory=args.track_memory,
+                progress=args.progress,
+                metrics=args.metrics_out,
             ),
         )
     else:
@@ -527,6 +603,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             engine=args.engine,
             jobs=args.jobs,
             resilience=_resilience_options(args),
+            observability=ObservabilityOptions(
+                progress=args.progress,
+                metrics=args.metrics_out,
+            ),
         )
     if telemetry is not None:
         telemetry.log(level=logging.DEBUG)
@@ -648,11 +728,16 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
     if args.profile or args.trace_out or args.track_memory:
         from repro.obs import TraceWriter, profile_call
 
-        results, telemetry = profile_call(
-            run_baseline,
-            engine=f"baseline/{args.model}",
-            params={"per": args.per, "min_sup": args.min_sup},
-            track_memory=args.track_memory,
+        results, telemetry = _monitored_call(
+            args,
+            f"baseline/{args.model}",
+            lambda: profile_call(
+                run_baseline,
+                engine=f"baseline/{args.model}",
+                params={"per": args.per, "min_sup": args.min_sup},
+                track_memory=args.track_memory,
+            ),
+            count=lambda pair: len(pair[0]),
         )
         telemetry.log(level=logging.DEBUG)
         if args.trace_out:
@@ -661,7 +746,9 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
         if args.profile:
             print(telemetry.summary_table(), file=sys.stderr)
     else:
-        results = run_baseline()
+        results = _monitored_call(
+            args, f"baseline/{args.model}", run_baseline
+        )
     print(f"{len(results)} {args.model} patterns")
     for pattern in results[: args.top]:
         print(f"  {pattern}")
@@ -672,6 +759,12 @@ def _cmd_qa(args: argparse.Namespace) -> int:
     from repro.obs.report import TraceWriter, validate_qa_record
     from repro.qa import BASE_SEED, QAConfig, run_qa
 
+    progress = args.progress
+    if progress is None:
+        try:
+            progress = bool(sys.stderr.isatty())
+        except (AttributeError, ValueError):
+            progress = False
     config = QAConfig(
         budget=args.budget,
         seed=args.seed if args.seed is not None else BASE_SEED,
@@ -682,6 +775,10 @@ def _cmd_qa(args: argparse.Namespace) -> int:
         minimize=not args.no_minimize,
         skip=tuple(args.skip or ()),
         update_golden=args.update_golden,
+        on_progress=(
+            (lambda text: print(text, file=sys.stderr, flush=True))
+            if progress else None
+        ),
     )
     report = run_qa(config)
     for path in report.golden_written:
@@ -714,23 +811,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.progress import monitor_from_options
+
     database = _WORKLOADS[args.dataset](scale=args.scale, seed=args.seed)
-    counts = sweep_pattern_counts(
-        database,
-        args.dataset,
-        args.pers,
-        args.min_ps_values,
-        args.min_recs,
-        engine=args.engine,
-        jobs=args.jobs,
-        resilience=_resilience_options(args),
+    # One monitor covers both sweeps — two independently built monitors
+    # would each reopen (and truncate) the same --metrics-out file.
+    monitor = monitor_from_options(
+        ObservabilityOptions(
+            progress=args.progress, metrics=args.metrics_out
+        )
     )
-    print(counts.as_table())
-    # A trace or profile needs per-cell timings, so those imply the
-    # runtime sweep.
-    runtime = None
-    if args.runtime or args.profile or args.trace_out:
-        runtime = sweep_runtime(
+    live = (
+        ObservabilityOptions(monitor=monitor)
+        if monitor is not None else None
+    )
+    try:
+        counts = sweep_pattern_counts(
             database,
             args.dataset,
             args.pers,
@@ -739,9 +835,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             engine=args.engine,
             jobs=args.jobs,
             resilience=_resilience_options(args),
+            observability=live,
         )
-        print()
-        print(runtime.as_table())
+        print(counts.as_table())
+        # A trace or profile needs per-cell timings, so those imply the
+        # runtime sweep.
+        runtime = None
+        if args.runtime or args.profile or args.trace_out:
+            runtime = sweep_runtime(
+                database,
+                args.dataset,
+                args.pers,
+                args.min_ps_values,
+                args.min_recs,
+                engine=args.engine,
+                jobs=args.jobs,
+                resilience=_resilience_options(args),
+                observability=live,
+            )
+            print()
+            print(runtime.as_table())
+    finally:
+        if monitor is not None:
+            monitor.close()
     if args.trace_out and runtime is not None:
         from repro.obs import RUN_SCHEMA, TraceWriter
 
@@ -815,6 +931,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         observability=ObservabilityOptions(
             trace=args.trace_out,
             track_memory=args.track_memory,
+            progress=args.progress,
+            metrics=args.metrics_out,
         ),
     )
     rows = [
@@ -858,6 +976,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import (
+        analyze_trace,
+        render_analysis,
+        render_comparison,
+    )
+
+    try:
+        analysis = analyze_trace(args.input)
+        if args.compare:
+            baseline = analyze_trace(args.compare)
+            print(
+                render_comparison(
+                    analysis, baseline, label_a="A", label_b="B"
+                )
+            )
+        else:
+            print(render_analysis(analysis))
+    except ValueError as error:
+        print(f"error: malformed trace: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     database = _WORKLOADS[args.dataset](scale=args.scale, seed=args.seed)
     result = compare_models(
@@ -879,6 +1021,50 @@ def _load(path: str, file_format: str) -> TransactionalDatabase:
     if file_format == "events":
         return TransactionalDatabase.from_events(load_event_sequence(path))
     return load_transactional_database(path)
+
+
+def _monitored_call(
+    args: argparse.Namespace,
+    label: str,
+    fn: Callable[[], object],
+    count: Callable[[object], int] = len,  # type: ignore[assignment]
+):
+    """Run ``fn`` as a single-unit monitor phase when live output is on.
+
+    Covers the code paths that bypass ``mine_recurring_patterns``
+    (the noise-tolerant miner, the baseline miners): with
+    ``--progress``/``--metrics-out`` off this is a plain call, with
+    them on the run still gets a progress line, the in-process
+    heartbeat and a final metrics snapshot — nothing silently drops.
+    """
+    from repro.obs.progress import monitor_from_options
+
+    monitor = monitor_from_options(
+        ObservabilityOptions(
+            progress=args.progress,
+            metrics=getattr(args, "metrics_out", None),
+        )
+    )
+    if monitor is None:
+        return fn()
+    started = time.perf_counter()
+    try:
+        monitor.phase_started(label, units=1)
+        try:
+            result = fn()
+            monitor.unit_done(0)
+            monitor.serial_beat()
+        finally:
+            monitor.phase_finished()
+        monitor.run_finished(
+            engine=label,
+            stats=None,
+            seconds=time.perf_counter() - started,
+            patterns_found=count(result),
+        )
+        return result
+    finally:
+        monitor.close()
 
 
 def _resilience_options(args: argparse.Namespace) -> ResilienceOptions:

@@ -35,6 +35,7 @@ from repro.core.options import (
 )
 from repro.exceptions import ParameterError
 from repro.obs.counters import MiningStats
+from repro.obs.progress import monitor_from_options
 from repro.obs.report import MiningTelemetry, TraceWriter
 from repro.obs.spans import SpanCollector, span
 from repro.timeseries.database import TransactionalDatabase
@@ -178,23 +179,49 @@ def mine_recurring_patterns(
             stacklevel=2,
         )
         track = False
-    if not obs.enabled:
-        with span("transform"):
-            database = _as_database(data)
-        result, _, _ = _run_engine(
-            database, per, min_ps, min_rec, engine, jobs, resilience
-        )
-        return result
+    # Live observability (progress lines, metrics snapshots, worker
+    # heartbeats) is orthogonal to post-hoc telemetry: it exists on
+    # both branches below, including the jobs=1 serial path.
+    monitor = monitor_from_options(obs)
+    owns_monitor = monitor is not None and obs.monitor is None
+    try:
+        if not obs.enabled:
+            started = time.perf_counter()
+            with span("transform"):
+                database = _as_database(data)
+            result, run_stats, _ = _run_engine(
+                database, per, min_ps, min_rec, engine, jobs, resilience,
+                monitor=monitor,
+            )
+            if monitor is not None:
+                monitor.run_finished(
+                    engine=engine,
+                    stats=run_stats,
+                    seconds=time.perf_counter() - started,
+                    patterns_found=len(result),
+                )
+            return result
 
-    collector = SpanCollector(track_memory=track)
-    started = time.perf_counter()
-    with collector:
-        with span("transform"):
-            database = _as_database(data)
-        result, stats, fault_events = _run_engine(
-            database, per, min_ps, min_rec, engine, jobs, resilience
-        )
-    seconds = time.perf_counter() - started
+        collector = SpanCollector(track_memory=track)
+        started = time.perf_counter()
+        with collector:
+            with span("transform"):
+                database = _as_database(data)
+            result, stats, fault_events = _run_engine(
+                database, per, min_ps, min_rec, engine, jobs, resilience,
+                monitor=monitor,
+            )
+        seconds = time.perf_counter() - started
+        if monitor is not None:
+            monitor.run_finished(
+                engine=engine,
+                stats=stats,
+                seconds=seconds,
+                patterns_found=len(result),
+            )
+    finally:
+        if owns_monitor:
+            monitor.close()
     params: dict = {"per": per, "min_ps": min_ps, "min_rec": min_rec}
     if jobs > 1:
         params["jobs"] = jobs
@@ -247,24 +274,38 @@ def _run_engine(
     engine: str,
     jobs: int = 1,
     resilience: Optional[ResilienceOptions] = None,
+    monitor=None,
 ) -> Tuple[RecurringPatternSet, MiningStats, List]:
     """Dispatch through the registry: result, counters, fault log.
 
     The fault log (third element) is always empty for serial runs and
     for fault-free parallel runs; ``resilience`` only applies when
-    ``jobs > 1``.
+    ``jobs > 1``.  ``monitor`` (a
+    :class:`~repro.obs.progress.MiningMonitor`) receives live progress
+    on *both* paths — a serial mine reports a single-unit phase plus
+    the in-process heartbeat, so progress/metrics never silently drop
+    at ``jobs=1``.
     """
     if jobs > 1:
         from repro.parallel import ParallelMiner
 
         miner = ParallelMiner(
             per, min_ps, min_rec, engine=engine, jobs=jobs,
-            resilience=resilience,
+            resilience=resilience, monitor=monitor,
         )
         result = miner.mine(database)
         return result, miner.last_stats or MiningStats(), miner.last_faults
-    serial = get_engine(engine).factory(per, min_ps, min_rec)
-    result = serial.mine(database)
+    if monitor is not None:
+        monitor.phase_started(f"mine[{engine}]", units=1)
+    try:
+        serial = get_engine(engine).factory(per, min_ps, min_rec)
+        result = serial.mine(database)
+        if monitor is not None:
+            monitor.unit_done(0)
+            monitor.serial_beat()
+    finally:
+        if monitor is not None:
+            monitor.phase_finished()
     return result, serial.last_stats or MiningStats(), []
 
 

@@ -123,6 +123,23 @@ class ObservabilityOptions:
         façade warns and ignores it otherwise.
     dataset:
         Optional dataset label carried into the telemetry/trace.
+    progress:
+        Live progress/ETA lines on stderr.  ``None`` (default) = auto:
+        on only when stderr is a TTY; ``True``/``False`` force it.
+    metrics:
+        Path (or open text handle) for periodic ``repro-metrics/v1``
+        snapshot records (see :mod:`repro.obs.metrics`).  ``None``
+        (default) disables metrics emission.
+    metrics_interval:
+        Minimum seconds between two metrics snapshots (default 1.0).
+    stale_after:
+        Seconds of worker-heartbeat silence before the supervisor
+        reports a stale worker (default 10.0; parallel runs only).
+    monitor:
+        An injected :class:`~repro.obs.progress.MiningMonitor` used
+        *instead* of building one from the flags above — the caller
+        then owns its lifecycle (tests, the bench harness, a future
+        service).
 
     Examples
     --------
@@ -136,11 +153,48 @@ class ObservabilityOptions:
     trace: Union[str, IO[str], None] = None
     track_memory: bool = False
     dataset: Optional[str] = None
+    progress: Optional[bool] = None
+    metrics: Union[str, IO[str], None] = None
+    metrics_interval: float = 1.0
+    stale_after: float = 10.0
+    monitor: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.metrics_interval, bool) or not isinstance(
+            self.metrics_interval, (int, float)
+        ) or self.metrics_interval <= 0:
+            raise ParameterError(
+                f"metrics_interval must be a positive number, "
+                f"got {self.metrics_interval!r}"
+            )
+        if isinstance(self.stale_after, bool) or not isinstance(
+            self.stale_after, (int, float)
+        ) or self.stale_after <= 0:
+            raise ParameterError(
+                f"stale_after must be a positive number, "
+                f"got {self.stale_after!r}"
+            )
+        if self.progress is not None and not isinstance(
+            self.progress, bool
+        ):
+            raise ParameterError(
+                f"progress must be True, False or None (auto), "
+                f"got {self.progress!r}"
+            )
 
     @property
     def enabled(self) -> bool:
         """True when telemetry is built at all (stats or trace)."""
         return bool(self.collect_stats) or self.trace is not None
+
+    @property
+    def live(self) -> bool:
+        """True when any live output is requested (progress/metrics)."""
+        return (
+            bool(self.progress)
+            or self.metrics is not None
+            or self.monitor is not None
+        )
 
 
 def _resolve(

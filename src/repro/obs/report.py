@@ -27,6 +27,7 @@ from typing import (
     IO,
     Callable,
     Dict,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -43,6 +44,7 @@ __all__ = [
     "SWEEP_SCHEMA",
     "MiningTelemetry",
     "TraceWriter",
+    "iter_trace",
     "profile_call",
     "read_trace",
     "validate_qa_record",
@@ -470,21 +472,36 @@ class TraceWriter:
         self.write_record(telemetry.as_run_record())
 
 
-def read_trace(source: Union[str, IO[str]]) -> List[Dict[str, object]]:
-    """Parse a JSON-lines trace back into records.
+def iter_trace(
+    source: Union[str, IO[str]]
+) -> Iterator[Dict[str, object]]:
+    """Stream a JSON-lines trace one record at a time.
 
-    Blank lines are ignored; anything else must be valid JSON.
+    Blank lines are ignored; anything else must be valid JSON.  Memory
+    use is O(longest line), never O(file) — a nightly sweep trace with
+    thousands of snapshot records costs the same as a two-line one.
+    Given a path the file is opened lazily and closed when the
+    generator is exhausted or dropped; given a handle, the caller keeps
+    ownership and the handle is read from its current position.
     """
     if hasattr(source, "read"):
-        text = source.read()  # type: ignore[union-attr]
-    else:
-        with open(source, "r", encoding="utf-8") as handle:
-            text = handle.read()
-    records: List[Dict[str, object]] = []
-    for line in text.splitlines():
-        if line.strip():
-            records.append(json.loads(line))
-    return records
+        for line in source:  # type: ignore[union-attr]
+            if line.strip():
+                yield json.loads(line)
+        return
+    with open(source, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                yield json.loads(line)
+
+
+def read_trace(source: Union[str, IO[str]]) -> List[Dict[str, object]]:
+    """Parse a whole JSON-lines trace into a list of records.
+
+    Convenience eager form of :func:`iter_trace`; prefer the iterator
+    for anything that might be large (the trace CLI does).
+    """
+    return list(iter_trace(source))
 
 
 def profile_call(

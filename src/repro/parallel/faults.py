@@ -34,6 +34,15 @@ When the pool breaks, chunks with a ``start`` but no ``done`` marker
 were executing and are charged a retry; chunks never started (or
 finished with the result lost in transit) are resubmitted without
 burning a retry credit.
+
+The same directory carries the **heartbeat channel**: when a chunk
+starts, the worker writes ``beat-<chunk>-<execution>`` containing its
+pid, and the chunk loops call :func:`maybe_beat` between tasks to
+re-touch it (rate-limited).  No background thread beats on the
+worker's behalf — deliberately, so a worker stuck *inside* one task
+(or asleep under an injected ``hang``) stops beating and the
+supervisor can report "worker N silent for Xs" from the file's mtime
+*before* the chunk deadline fires.
 """
 
 from __future__ import annotations
@@ -55,6 +64,8 @@ __all__ = [
     "guarded_chunk",
     "marker_path",
     "has_marker",
+    "maybe_beat",
+    "latest_beat",
 ]
 
 #: The injectable failure modes, in the order the test matrix runs them.
@@ -151,6 +162,14 @@ class FaultPlan:
 _PLAN: Optional[FaultPlan] = None
 _MARKER_DIR: Optional[str] = None
 
+#: The (chunk, execution) this worker is currently running, if any —
+#: set by guarded_chunk so maybe_beat() knows which beat file to touch.
+_CURRENT: Optional[Tuple[int, int]] = None
+_LAST_BEAT = 0.0
+
+#: Minimum seconds between beat-file touches from the chunk loops.
+BEAT_INTERVAL = 0.05
+
 
 def install_fault_plan(
     plan: Optional[FaultPlan], marker_dir: Optional[str] = None
@@ -205,25 +224,87 @@ def _mark(prefix: str, chunk: int, execution: int) -> None:
         pass
 
 
+def _write_beat(chunk: int, execution: int) -> None:
+    """Touch this chunk's beat file, recording the worker pid."""
+    if _MARKER_DIR is None:
+        return
+    try:
+        path = marker_path(_MARKER_DIR, "beat", chunk, execution)
+        with open(path, "w") as handle:
+            handle.write(str(os.getpid()))
+    except OSError:  # pragma: no cover - marker dir vanished mid-run
+        pass
+
+
+def maybe_beat(min_interval: float = BEAT_INTERVAL) -> bool:
+    """Re-touch the current chunk's beat file, rate-limited.
+
+    Called by the worker chunk loops between tasks.  A no-op outside a
+    guarded chunk or without a marker directory; returns whether a beat
+    was actually written.
+    """
+    global _LAST_BEAT
+    if _CURRENT is None or _MARKER_DIR is None:
+        return False
+    now = time.monotonic()
+    if now - _LAST_BEAT < min_interval:
+        return False
+    _LAST_BEAT = now
+    _write_beat(*_CURRENT)
+    return True
+
+
+def latest_beat(
+    marker_dir: Optional[str], chunk: int, execution: int
+) -> Optional[Tuple[float, Optional[int]]]:
+    """Parent-side: ``(mtime, pid)`` of a chunk's beat file, if any.
+
+    ``mtime`` is wall-clock (``time.time`` base — parent and workers
+    share the filesystem clock); ``pid`` is ``None`` when the file
+    content is unreadable or empty.
+    """
+    if marker_dir is None:
+        return None
+    path = marker_path(marker_dir, "beat", chunk, execution)
+    try:
+        mtime = os.path.getmtime(path)
+        with open(path, "r") as handle:
+            content = handle.read().strip()
+    except OSError:
+        return None
+    pid = int(content) if content.isdigit() else None
+    return mtime, pid
+
+
 def guarded_chunk(chunk_fn, chunk_id: int, payload, execution: int):
     """Run one chunk inside a worker, applying any planned fault.
 
     This is the callable the supervisor actually submits to the pool:
     it brackets ``chunk_fn(chunk_id, payload)`` with the start/done
-    markers and consults the installed :class:`FaultPlan` first.  With
-    no plan installed (production) the overhead is two ``open()`` calls
-    per chunk.
+    markers (plus an initial heartbeat) and consults the installed
+    :class:`FaultPlan` first.  The heartbeat is written *before* the
+    fault check on purpose: an injected ``hang`` then looks exactly
+    like a production hang — one beat at chunk start, silence after.
+    With no plan installed (production) the overhead is three
+    ``open()`` calls per chunk.
     """
+    global _CURRENT, _LAST_BEAT
     _mark("start", chunk_id, execution)
-    spec = _PLAN.find(chunk_id, execution) if _PLAN is not None else None
-    if spec is not None:
-        if spec.kind == "crash":
-            os._exit(_CRASH_STATUS)
-        if spec.kind in ("hang", "slow"):
-            time.sleep(spec.seconds)
-        if spec.kind == "poison":
-            _mark("done", chunk_id, execution)
-            return POISONED_RESULT
-    result = chunk_fn(chunk_id, payload)
-    _mark("done", chunk_id, execution)
-    return result
+    _CURRENT = (chunk_id, execution)
+    _LAST_BEAT = time.monotonic()
+    _write_beat(chunk_id, execution)
+    try:
+        spec = _PLAN.find(chunk_id, execution) if _PLAN is not None else None
+        if spec is not None:
+            if spec.kind == "crash":
+                os._exit(_CRASH_STATUS)
+            if spec.kind in ("hang", "slow"):
+                time.sleep(spec.seconds)
+            if spec.kind == "poison":
+                _mark("done", chunk_id, execution)
+                return POISONED_RESULT
+        result = chunk_fn(chunk_id, payload)
+        _mark("done", chunk_id, execution)
+        return result
+    finally:
+        _CURRENT = None

@@ -130,6 +130,14 @@ class ParallelMiner:
         fan-out: one ``future.result()`` per chunk, a worker crash
         aborts the run).  Exists so the scaling bench can measure
         supervision overhead; production code should leave it ``True``.
+    monitor:
+        A :class:`~repro.obs.progress.MiningMonitor` receiving live
+        progress: one weighted phase per mine (unit = chunk, weight =
+        its LPT cost estimate, so the ETA respects unequal chunks),
+        per-worker heartbeat gauges and stale-worker reports from the
+        supervisor.  ``None`` (default) reports nothing.  Ignored when
+        ``supervised=False`` (the bench baseline measures the bare
+        pool).
 
     Examples
     --------
@@ -159,6 +167,7 @@ class ParallelMiner:
         fault_plan: Optional[FaultPlan] = None,
         resilience: Optional[ResilienceOptions] = None,
         supervised: bool = True,
+        monitor=None,
     ):
         if engine not in PARALLEL_ENGINES:
             raise ParameterError(
@@ -213,6 +222,7 @@ class ParallelMiner:
         self.fallback = fallback
         self.fault_plan = fault_plan
         self.supervised = supervised
+        self.monitor = monitor
         self.last_stats: Optional[MiningStats] = None
         #: Fault log of the most recent ``mine()`` call — one
         #: :class:`~repro.parallel.resilience.FaultEvent` per retry or
@@ -226,8 +236,20 @@ class ParallelMiner:
         """Mine ``database``, identical in result to the serial engine."""
         self.last_faults = []
         if self.jobs == 1:
-            serial = self._serial_engine()
-            result = serial.mine(database)
+            # Serial delegation still reports: a single-unit phase plus
+            # the in-process heartbeat, so progress/metrics never go
+            # silent just because jobs=1 (see docs/observability.md).
+            if self.monitor is not None:
+                self.monitor.phase_started(f"mine[{self.engine}]", units=1)
+            try:
+                serial = self._serial_engine()
+                result = serial.mine(database)
+                if self.monitor is not None:
+                    self.monitor.unit_done(0)
+                    self.monitor.serial_beat()
+            finally:
+                if self.monitor is not None:
+                    self.monitor.phase_finished()
             self.last_stats = serial.last_stats
             return result
         stats = MiningStats()
@@ -250,8 +272,9 @@ class ParallelMiner:
             return RecurringPatternSet()
         # Task i is the lattice subtree rooted at candidates[i]; its
         # point-sequence length is the documented cost proxy.
+        sizes = [len(ts_list) for _, ts_list in candidates]
         chunks = _partition.plan_chunks(
-            [len(ts_list) for _, ts_list in candidates],
+            sizes,
             max_chunks=self.jobs * self.chunks_per_job,
         )
         found: List[RecurringPattern] = []
@@ -269,6 +292,10 @@ class ParallelMiner:
                 mine_span=mine_span,
                 chunk_prefixes=[
                     [str(candidates[index][0]) for index in chunk]
+                    for chunk in chunks
+                ],
+                chunk_weights=[
+                    float(sum(sizes[index] for index in chunk))
                     for chunk in chunks
                 ],
             )
@@ -293,8 +320,11 @@ class ParallelMiner:
                     tree, params, found, stats, self.max_length
                 )
             if tasks:
+                sizes = [
+                    _partition.growth_task_size(task) for task in tasks
+                ]
                 chunks = _partition.plan_chunks(
-                    [_partition.growth_task_size(task) for task in tasks],
+                    sizes,
                     max_chunks=self.jobs * self.chunks_per_job,
                 )
                 payload_chunks = [
@@ -312,6 +342,10 @@ class ParallelMiner:
                         [str(item) for item, _ in chunk]
                         for chunk in payload_chunks
                     ],
+                    chunk_weights=[
+                        float(sum(sizes[index] for index in chunk))
+                        for chunk in chunks
+                    ],
                 )
         return RecurringPatternSet(found)
 
@@ -328,6 +362,7 @@ class ParallelMiner:
         stats: MiningStats,
         mine_span: Optional[Span],
         chunk_prefixes: Sequence[Sequence[str]],
+        chunk_weights: Optional[Sequence[float]] = None,
     ) -> None:
         """Fan ``chunks`` out to a supervised pool and merge the results.
 
@@ -335,6 +370,9 @@ class ParallelMiner:
         ``i`` covers (first items for the vertical engines, suffix
         items for RP-growth) — the vocabulary of
         :class:`~repro.exceptions.ChunkFailedError`.
+        ``chunk_weights[i]`` is chunk ``i``'s LPT cost estimate; the
+        monitor's progress fraction and ETA are weight-based, so the
+        bar is honest even when the chunk plan is deliberately uneven.
         """
         workers = min(self.jobs, len(chunks))
         if not self.supervised:
@@ -343,17 +381,28 @@ class ParallelMiner:
                 mine_span, workers,
             )
             return
-        results, events, failed = supervise(
-            workers=workers,
-            mp_context=self._context(),
-            initializer=initializer,
-            initargs=initargs,
-            chunk_fn=chunk_fn,
-            payloads=chunks,
-            policy=self.retry_policy,
-            fallback=self.fallback,
-            fault_plan=self.fault_plan,
-        )
+        if self.monitor is not None:
+            self.monitor.phase_started(
+                f"mine[{self.engine}]",
+                weights=chunk_weights,
+                units=len(chunks),
+            )
+        try:
+            results, events, failed = supervise(
+                workers=workers,
+                mp_context=self._context(),
+                initializer=initializer,
+                initargs=initargs,
+                chunk_fn=chunk_fn,
+                payloads=chunks,
+                policy=self.retry_policy,
+                fallback=self.fallback,
+                fault_plan=self.fault_plan,
+                monitor=self.monitor,
+            )
+        finally:
+            if self.monitor is not None:
+                self.monitor.phase_finished()
         self.last_faults = list(events)
         stats.chunks_retried += sum(
             1 for event in events if event.action == "retry"

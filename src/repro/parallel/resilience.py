@@ -25,7 +25,14 @@ and the ``ProcessPoolExecutor``:
   :class:`FaultEvent` (surfaced as the ``faults`` section of the
   ``repro-run/v1`` trace record and the ``chunks_retried`` /
   ``chunks_fallback`` counters) and as ``retry`` / ``fallback`` spans
-  nested under the parent's ``mine`` span.
+  nested under the parent's ``mine`` span;
+* **liveness** — with a :class:`~repro.obs.progress.MiningMonitor`
+  attached, each accepted chunk advances the live progress bar, every
+  in-flight chunk's heartbeat age (from the ``beat-*`` marker files of
+  :mod:`repro.parallel.faults`) feeds a per-worker gauge, and a worker
+  silent past ``monitor.stale_after`` is reported as a stale-heartbeat
+  hint *before* its deadline kills the pool — so when the deadline
+  does fire, the fault is already attributed.
 
 Correctness note: recurring patterns are not anti-monotone (Example 10
 of the paper), so a recovery path may not *approximate* — it must
@@ -228,6 +235,7 @@ def supervise(
     policy: RetryPolicy,
     fallback: str = "serial",
     fault_plan: Optional[_faults.FaultPlan] = None,
+    monitor=None,
 ) -> Tuple[List[Optional[tuple]], List[FaultEvent], List[int]]:
     """Run every chunk to an accepted result, a fallback, or a verdict.
 
@@ -238,6 +246,11 @@ def supervise(
     :func:`repro.parallel.faults.guarded_chunk` under a chained
     initializer that installs ``fault_plan`` (``None`` in production)
     and the failure-attribution markers.
+
+    ``monitor`` (a :class:`~repro.obs.progress.MiningMonitor`, or
+    ``None``) receives ``unit_done`` per accepted chunk, heartbeat-age
+    gauges for in-flight chunks, stale-worker reports past
+    ``monitor.stale_after`` and one ``fault`` call per handled failure.
 
     Returns
     -------
@@ -295,6 +308,12 @@ def supervise(
                 )
             value = chunk_fn(chunk, payloads[chunk])
         results[chunk] = value
+        if monitor is not None:
+            # A serial fallback still counts as progress — requesting
+            # live output must never go silent just because the pool
+            # degraded (the track_memory no-op lesson).
+            monitor.serial_beat()
+            monitor.unit_done(chunk)
 
     def handle_failure(chunk: int, execution: int, reason: str) -> None:
         """Charge a failure to ``chunk``; retry, fall back, or record."""
@@ -302,6 +321,8 @@ def supervise(
         state.failures += 1
         if state.failures <= policy.max_retries:
             events.append(FaultEvent(chunk, execution, reason, "retry"))
+            if monitor is not None:
+                monitor.fault("retry", chunk, reason)
             with span("retry") as retry_span:
                 if retry_span is not None:
                     retry_span.children.append(
@@ -318,9 +339,13 @@ def supervise(
             events.append(
                 FaultEvent(chunk, execution, reason, "fallback-serial")
             )
+            if monitor is not None:
+                monitor.fault("fallback-serial", chunk, reason)
             run_serial_fallback(chunk)
         else:
             events.append(FaultEvent(chunk, execution, reason, "raise"))
+            if monitor is not None:
+                monitor.fault("raise", chunk, reason)
             failed.append(chunk)
 
     def requeue_after_pool_death(flight: _Flight, reason: str) -> None:
@@ -339,6 +364,30 @@ def supervise(
             # Never started, or completed with the result lost in
             # transit: re-execute without charging a retry.
             queue.append((flight.chunk, time.monotonic()))
+
+    def check_heartbeats() -> None:
+        """Read every in-flight chunk's beat file into the monitor.
+
+        Beat mtimes are wall-clock stamps from the workers' own
+        writes; parent and workers share the filesystem, so the age is
+        directly comparable to ``time.time()``.  Chunks whose beat file
+        does not exist yet (still queued inside the pool) are skipped —
+        a worker that never started is not silent, just waiting.
+        """
+        now_wall = time.time()
+        for flight in in_flight.values():
+            beat = _faults.latest_beat(
+                marker_dir, flight.chunk, flight.execution
+            )
+            if beat is None:
+                continue
+            mtime, pid = beat
+            age = max(0.0, now_wall - mtime)
+            monitor.worker_beat(flight.chunk, pid, age)
+            if age >= monitor.stale_after:
+                monitor.worker_stale(
+                    flight.chunk, pid, age, execution=flight.execution
+                )
 
     def drain_pool(reason: str, charge_all: bool) -> None:
         """Tear the pool down and reschedule everything in flight."""
@@ -401,6 +450,11 @@ def supervise(
                 if flight.deadline is not None
             ]
             wake_times.extend(t for _, t in queue)
+            if monitor is not None:
+                # Wake often enough to notice a silent worker well
+                # before stale_after has fully elapsed again.
+                poll = min(1.0, max(0.02, monitor.stale_after / 4.0))
+                wake_times.append(time.monotonic() + poll)
             wait_timeout = (
                 max(0.0, min(wake_times) - time.monotonic())
                 if wake_times
@@ -410,6 +464,8 @@ def supervise(
                 set(in_flight), timeout=wait_timeout,
                 return_when=FIRST_COMPLETED,
             )
+            if monitor is not None:
+                check_heartbeats()
 
             # -- completions first: keep every result that made it back -
             pool_broke = False
@@ -422,6 +478,8 @@ def supervise(
                     if _valid_result(value):
                         if results[flight.chunk] is None:
                             results[flight.chunk] = value
+                            if monitor is not None:
+                                monitor.unit_done(flight.chunk)
                     else:
                         handle_failure(
                             flight.chunk,

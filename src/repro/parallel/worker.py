@@ -30,6 +30,7 @@ from repro.core.model import (
 from repro.core.rp_growth import RPGrowth, conditional_tree_from_base
 from repro.obs.counters import MiningStats
 from repro.obs.spans import SpanCollector, span
+from repro.parallel import faults as _faults
 from repro.parallel.partition import GrowthTask
 from repro.timeseries.events import Item
 
@@ -91,6 +92,9 @@ def mine_vertical_chunk(
 
             miner = FastRPEclat(params.per, params.min_ps, params.min_rec)
         for index in indices:
+            # Between lattice subtrees is the natural heartbeat point: a
+            # worker that stops beating is stuck inside one subtree.
+            _faults.maybe_beat()
             item, ts_list = candidates[index]
             miner._grow(
                 (item,), ts_list, candidates[index + 1:],
@@ -130,6 +134,7 @@ def mine_growth_chunk(
     collector = SpanCollector()
     with collector, span(f"chunk[{chunk_id}]"):
         for item, base in tasks:
+            _faults.maybe_beat()
             conditional = conditional_tree_from_base(
                 base, order, params, stats
             )

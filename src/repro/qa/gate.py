@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.engines import ENGINES, PARALLEL_ENGINES
 from repro.qa.differential import (
@@ -79,6 +79,11 @@ class QAConfig:
     skip: Tuple[str, ...] = ()
     #: Rewrite golden snapshots instead of checking them.
     update_golden: bool = False
+    #: Optional callback invoked with one line at each suite boundary
+    #: ("relations...", "relations done in 1.2s", ...) — the CLI's
+    #: ``--progress`` wires a stderr printer here so a budgeted run is
+    #: never silent for minutes.
+    on_progress: Optional[Callable[[str], None]] = None
 
     def __post_init__(self) -> None:
         for section in self.skip:
@@ -234,8 +239,17 @@ def run_qa(config: Optional[QAConfig] = None) -> QAReport:
     report = QAReport(config=config)
     skipped: List[str] = list(config.skip)
 
+    def _tell(text: str) -> None:
+        if config.on_progress is not None:
+            config.on_progress(text)
+
     if "relations" not in skipped:
         relations_deadline = started + config.budget * _RELATIONS_BUDGET_SHARE
+        _tell(
+            f"qa: relations (engines={','.join(config.engines)}, "
+            f"jobs={list(config.jobs_values)})..."
+        )
+        suite_started = time.monotonic()
         report.relations = run_relations(
             cases=default_case_corpus(
                 n_random=config.relation_cases, base_seed=config.seed
@@ -245,16 +259,31 @@ def run_qa(config: Optional[QAConfig] = None) -> QAReport:
             minimize=config.minimize,
             deadline=relations_deadline,
         )
+        _tell(
+            f"qa: relations {'passed' if report.relations.passed else 'FAILED'} "
+            f"in {time.monotonic() - suite_started:.1f}s"
+        )
 
     if "golden" not in skipped:
+        _tell("qa: golden corpus...")
+        suite_started = time.monotonic()
         if config.update_golden:
             report.golden_written = tuple(
                 update_goldens(config.golden_dir)
             )
         report.golden = run_goldens(config.golden_dir)
+        _tell(
+            f"qa: golden {'passed' if report.golden.passed else 'FAILED'} "
+            f"in {time.monotonic() - suite_started:.1f}s"
+        )
 
     if "differential" not in skipped:
         engines = [e for e in config.engines if e in PARALLEL_ENGINES]
+        _tell(
+            f"qa: differential sweep (<= {config.differential_cases} "
+            f"cases, budget-bound)..."
+        )
+        suite_started = time.monotonic()
         report.differential = run_differential(
             n_cases=config.differential_cases,
             base_seed=config.seed,
@@ -262,6 +291,11 @@ def run_qa(config: Optional[QAConfig] = None) -> QAReport:
             jobs_values=(1,),
             deadline=hard_deadline,
             minimize=config.minimize,
+        )
+        _tell(
+            f"qa: differential "
+            f"{'passed' if report.differential.passed else 'FAILED'} "
+            f"in {time.monotonic() - suite_started:.1f}s"
         )
 
     report.skipped = tuple(skipped)

@@ -49,6 +49,7 @@ from repro.core.miner import _as_database, _run_engine
 from repro.core.model import RecurringPatternSet
 from repro.core.options import ObservabilityOptions
 from repro.obs.counters import MiningStats
+from repro.obs.progress import monitor_from_options
 from repro.obs.report import (
     SWEEP_SCHEMA,
     TraceWriter,
@@ -204,7 +205,11 @@ def run_sweep(
         :class:`~repro.obs.report.TraceWriter`; ``track_memory``
         samples per-span peaks.  Telemetry is always collected for a
         sweep (that is its benchmark role), so ``collect_stats`` is
-        implied and the return type never changes.
+        implied and the return type never changes.  The live fields
+        (``progress``/``metrics``/``monitor``, see
+        :mod:`repro.obs.progress`) report per-cell completion and an
+        ETA while the grid runs; each mined cell's chunk progress
+        stacks inside the cell phase.
 
     Returns
     -------
@@ -227,6 +232,8 @@ def run_sweep(
     obs = observability or ObservabilityOptions()
     dataset = dataset if dataset is not None else obs.dataset
     result = SweepResult(plan=plan, dataset=dataset)
+    monitor = monitor_from_options(obs)
+    owns_monitor = monitor is not None and obs.monitor is None
     started = time.perf_counter()
 
     # Reuse layer 1: one transform, one vertical scan, shared by every
@@ -240,27 +247,14 @@ def run_sweep(
     result.transform_seconds = transform_collector.roots[0].seconds
     _fold_memory(result, transform_collector)
 
-    if plan.derive_min_rec:
-        base_rec = min(plan.min_recs)
-        for (per, min_ps), min_recs in plan.columns().items():
-            base_key = (per, min_ps, base_rec)
-            _mine_cell(result, database, base_key, obs.track_memory)
-            for min_rec in min_recs:
-                if min_rec == base_rec:
-                    continue
-                _derive_cell(
-                    result, base_key, (per, min_ps, min_rec)
-                )
-    else:
-        for key in plan.cells():
-            _mine_cell(result, database, key, obs.track_memory)
-
-    # Every mined cell after the first reused the shared transform and
-    # vertical map instead of re-scanning; derived cells never touch
-    # the database at all, so they are not scan reuses — they are
-    # counted by cells_derived.
-    result.scans_shared = max(0, result.cells_mined - 1)
-    result.seconds = time.perf_counter() - started
+    # The cell-level phase wraps every per-cell mine (whose own
+    # ParallelMiner chunk phase stacks on top of it); unit_done on a
+    # derived cell is as real a completion as on a mined one.
+    try:
+        _run_cells(result, database, plan, obs, monitor, started)
+    finally:
+        if owns_monitor:
+            monitor.close()
 
     if obs.trace is not None:
         record = result.as_record()
@@ -270,11 +264,86 @@ def run_sweep(
     return result
 
 
+def _run_cells(
+    result: SweepResult,
+    database: TransactionalDatabase,
+    plan: SweepPlan,
+    obs: ObservabilityOptions,
+    monitor,
+    started: float,
+) -> None:
+    """Mine/derive every cell, reporting into ``monitor`` when present."""
+    try:
+        if monitor is not None:
+            monitor.phase_started("sweep", units=len(plan.cells()))
+        cell_index = 0
+
+        def _cell_done() -> None:
+            nonlocal cell_index
+            if monitor is not None:
+                monitor.unit_done(cell_index)
+            cell_index += 1
+
+        if plan.derive_min_rec:
+            base_rec = min(plan.min_recs)
+            for (per, min_ps), min_recs in plan.columns().items():
+                base_key = (per, min_ps, base_rec)
+                _mine_cell(
+                    result, database, base_key, obs.track_memory,
+                    monitor=monitor,
+                )
+                _cell_done()
+                for min_rec in min_recs:
+                    if min_rec == base_rec:
+                        continue
+                    _derive_cell(
+                        result, base_key, (per, min_ps, min_rec)
+                    )
+                    _cell_done()
+        else:
+            for key in plan.cells():
+                _mine_cell(
+                    result, database, key, obs.track_memory,
+                    monitor=monitor,
+                )
+                _cell_done()
+    finally:
+        if monitor is not None:
+            monitor.phase_finished()
+
+    # Every mined cell after the first reused the shared transform and
+    # vertical map instead of re-scanning; derived cells never touch
+    # the database at all, so they are not scan reuses — they are
+    # counted by cells_derived.
+    result.scans_shared = max(0, result.cells_mined - 1)
+    result.seconds = time.perf_counter() - started
+
+    if monitor is not None:
+        if monitor.registry is not None:
+            for name, value in (
+                ("cells_mined", result.cells_mined),
+                ("cells_derived", result.cells_derived),
+                ("scans_shared", result.scans_shared),
+            ):
+                monitor.registry.counter(
+                    f"repro_sweep_{name}_total",
+                    {"engine": plan.engine},
+                ).inc(float(value))
+        monitor.run_finished(
+            engine=plan.engine,
+            stats=None,
+            seconds=result.seconds,
+            patterns_found=sum(result.counts().values()),
+            note=f"sweep[{plan.engine}]: {result.summary_line()}",
+        )
+
+
 def _mine_cell(
     result: SweepResult,
     database: TransactionalDatabase,
     key: GridKey,
     track_memory: bool,
+    monitor=None,
 ) -> None:
     """Mine one cell (reuse layer 3), keeping the fastest execution."""
     per, min_ps, min_rec = key
@@ -287,6 +356,7 @@ def _mine_cell(
             found, stats, _faults = _run_engine(
                 database, per, min_ps, min_rec,
                 plan.engine, plan.jobs, plan.resilience,
+                monitor=monitor,
             )
         root = collector.roots[0]
         _fold_memory(result, collector)

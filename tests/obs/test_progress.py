@@ -1,0 +1,304 @@
+"""Tests for live progress/ETA/heartbeat reporting (repro.obs.progress)."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro import mine_recurring_patterns
+from repro.core.options import ObservabilityOptions
+from repro.datasets import paper_running_example
+from repro.exceptions import ParameterError
+from repro.obs.metrics import (
+    MetricsEmitter,
+    MetricsRegistry,
+    validate_metrics_record,
+)
+from repro.obs.progress import (
+    HEARTBEAT_GAUGE,
+    MiningMonitor,
+    ProgressReporter,
+    ProgressTracker,
+    monitor_from_options,
+)
+from repro.sweep import SweepPlan, run_sweep
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestProgressTracker:
+    def test_uniform_units(self):
+        clock = FakeClock()
+        tracker = ProgressTracker("mine", units=4, clock=clock)
+        tracker.advance()
+        assert tracker.fraction == pytest.approx(0.25)
+        clock.now = 1.0
+        # 25% took 1s -> remaining 75% projects to 3s.
+        assert tracker.eta_seconds() == pytest.approx(3.0)
+
+    def test_weighted_eta_honours_lpt_weights(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(
+            "mine", weights=[9.0, 1.0], clock=clock
+        )
+        clock.now = 9.0
+        tracker.advance(0)  # the huge chunk finished
+        assert tracker.fraction == pytest.approx(0.9)
+        assert tracker.eta_seconds() == pytest.approx(1.0)
+
+    def test_all_zero_weights_fall_back_to_uniform(self):
+        tracker = ProgressTracker("mine", weights=[0.0, 0.0])
+        tracker.advance(0)
+        assert tracker.fraction == pytest.approx(0.5)
+
+    def test_needs_weights_or_units(self):
+        with pytest.raises(ParameterError):
+            ProgressTracker("mine")
+
+    def test_line_shows_units_percent_eta(self):
+        clock = FakeClock()
+        tracker = ProgressTracker("mine", units=2, clock=clock)
+        clock.now = 2.0
+        tracker.advance()
+        line = tracker.line()
+        assert "mine: 1/2 (50%)" in line
+        assert "eta" in line
+
+
+class TestProgressReporter:
+    def test_non_tty_appends_lines(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream, min_interval=0.0)
+        reporter.update("a")
+        reporter.update("b")
+        assert stream.getvalue() == "a\nb\n"
+
+    def test_rate_limit(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            stream, min_interval=10.0, clock=clock
+        )
+        reporter.update("a")
+        reporter.update("b")  # suppressed
+        reporter.update("c", force=True)
+        clock.now = 11.0
+        reporter.update("d")
+        assert stream.getvalue() == "a\nc\nd\n"
+
+    def test_note_always_prints(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            stream, min_interval=10.0, clock=clock
+        )
+        reporter.update("a")
+        reporter.note("stale heartbeat: worker 1 silent")
+        assert "stale heartbeat" in stream.getvalue()
+
+    def test_closed_stream_is_not_fatal(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream, min_interval=0.0)
+        stream.close()
+        reporter.update("a")  # must not raise
+        reporter.close()
+
+
+class TestMiningMonitor:
+    def test_phase_stack_unit_done_hits_innermost(self):
+        stream = io.StringIO()
+        monitor = MiningMonitor(
+            reporter=ProgressReporter(stream, min_interval=0.0)
+        )
+        monitor.phase_started("sweep", units=2)
+        monitor.phase_started("mine", units=3)
+        monitor.unit_done(0)
+        monitor.phase_finished()
+        monitor.unit_done(0)
+        monitor.phase_finished()
+        out = stream.getvalue()
+        assert "mine: 1/3" in out
+        assert "sweep: 1/2" in out
+
+    def test_worker_stale_dedupes_per_execution(self):
+        monitor = MiningMonitor(registry=MetricsRegistry())
+        first = monitor.worker_stale(3, 111, 40.0, execution=1)
+        again = monitor.worker_stale(3, 111, 41.0, execution=1)
+        second = monitor.worker_stale(3, 111, 12.0, execution=2)
+        assert first is not None and second is not None
+        assert again is None
+        assert len(monitor.stale_reports) == 2
+        assert "worker 111 on chunk 3 silent for 40.0s" in (
+            first.describe()
+        )
+        counter = monitor.registry.counter("repro_worker_stale_total")
+        assert counter.value == 2.0
+
+    def test_heartbeat_gauge_labels(self):
+        monitor = MiningMonitor(registry=MetricsRegistry())
+        monitor.worker_beat(2, 4242, 0.7)
+        snapshot = monitor.registry.snapshot()
+        gauges = {
+            (entry["name"], entry["labels"]["chunk"],
+             entry["labels"]["pid"]): entry["value"]
+            for entry in snapshot["gauges"]
+        }
+        assert gauges[(HEARTBEAT_GAUGE, "2", "4242")] == pytest.approx(0.7)
+
+    def test_run_finished_emits_final_snapshot(self):
+        stream = io.StringIO()
+        monitor = MiningMonitor(
+            emitter=MetricsEmitter(
+                MetricsRegistry(), stream, interval=3600.0
+            )
+        )
+        monitor.run_finished(
+            engine="rp-growth", stats=None, seconds=0.5,
+            patterns_found=8,
+        )
+        monitor.close()
+        lines = [
+            json.loads(line)
+            for line in stream.getvalue().splitlines() if line.strip()
+        ]
+        assert lines, "run_finished must flush at least one snapshot"
+        for record in lines:
+            validate_metrics_record(record)
+        names = {
+            entry["name"] for entry in lines[-1]["counters"]
+        }
+        assert "repro_runs_total" in names
+
+    def test_close_is_idempotent(self):
+        monitor = MiningMonitor(
+            reporter=ProgressReporter(io.StringIO(), min_interval=0.0)
+        )
+        monitor.close()
+        monitor.close()
+
+
+class TestMonitorFromOptions:
+    def test_none_options_gives_none(self):
+        assert monitor_from_options(None) is None
+
+    def test_nothing_enabled_gives_none(self):
+        options = ObservabilityOptions(progress=False)
+        assert monitor_from_options(options) is None
+
+    def test_injected_monitor_wins(self):
+        injected = MiningMonitor()
+        options = ObservabilityOptions(monitor=injected)
+        assert monitor_from_options(options) is injected
+
+    def test_metrics_only_builds_emitter_without_reporter(self):
+        stream = io.StringIO()
+        options = ObservabilityOptions(progress=False, metrics=stream)
+        monitor = monitor_from_options(options)
+        assert monitor is not None
+        assert monitor.reporter is None
+        assert monitor.emitter is not None
+        monitor.close()
+        assert stream.getvalue().strip()
+
+
+class TestSerialEmission:
+    """Satellite 6: jobs=1 must still emit, never silently drop."""
+
+    def test_serial_mine_reports_progress_and_metrics(self):
+        progress = io.StringIO()
+        metrics = io.StringIO()
+        monitor = MiningMonitor(
+            reporter=ProgressReporter(progress, min_interval=0.0),
+            emitter=MetricsEmitter(
+                MetricsRegistry(), metrics, interval=3600.0
+            ),
+        )
+        found = mine_recurring_patterns(
+            paper_running_example(), per=2, min_ps=3, min_rec=2,
+            observability=ObservabilityOptions(monitor=monitor),
+        )
+        monitor.close()
+        assert len(found) == 8
+        out = progress.getvalue()
+        assert "mine[rp-growth]: 1/1 (100%)" in out
+        assert "rp-growth: 8 patterns" in out
+        records = [
+            json.loads(line)
+            for line in metrics.getvalue().splitlines() if line.strip()
+        ]
+        assert records, "serial run must emit at least one snapshot"
+        last = records[-1]
+        counter_names = {e["name"] for e in last["counters"]}
+        assert "repro_mining_patterns_found_total" in counter_names
+        heartbeat = [
+            entry for entry in last["gauges"]
+            if entry["name"] == HEARTBEAT_GAUGE
+        ]
+        assert heartbeat, "serial run must register the heartbeat gauge"
+        assert heartbeat[0]["labels"]["chunk"] == "serial"
+        assert heartbeat[0]["labels"]["pid"] == str(os.getpid())
+
+    def test_serial_metrics_via_options_path(self):
+        # The façade builds (and closes) the monitor itself from the
+        # metrics= field; the file must hold >= 1 validated snapshot.
+        metrics = io.StringIO()
+        mine_recurring_patterns(
+            paper_running_example(), per=2, min_ps=3, min_rec=2,
+            observability=ObservabilityOptions(
+                progress=False, metrics=metrics
+            ),
+        )
+        records = [
+            json.loads(line)
+            for line in metrics.getvalue().splitlines() if line.strip()
+        ]
+        assert records
+        for record in records:
+            validate_metrics_record(record)
+
+    def test_sweep_serial_progress_counts_cells(self):
+        progress = io.StringIO()
+        monitor = MiningMonitor(
+            reporter=ProgressReporter(progress, min_interval=0.0)
+        )
+        run_sweep(
+            paper_running_example(),
+            SweepPlan(pers=(2,), min_ps_values=(3,), min_recs=(1, 2)),
+            observability=ObservabilityOptions(monitor=monitor),
+        )
+        monitor.close()
+        out = progress.getvalue()
+        assert "sweep: 2/2 (100%)" in out
+        assert "1 mined, 1 derived" in out
+
+    def test_heartbeat_gauges_jobs_1_and_2_same_registry(self):
+        # The same injected monitor accumulates heartbeat gauges across
+        # a serial and a parallel run — the merged view a service would
+        # hold.  Chunk labels must cover 'serial' and real chunk ids.
+        registry = MetricsRegistry()
+        monitor = MiningMonitor(registry=registry)
+        for jobs in (1, 2):
+            mine_recurring_patterns(
+                paper_running_example(), per=2, min_ps=3, min_rec=2,
+                jobs=jobs,
+                observability=ObservabilityOptions(monitor=monitor),
+            )
+        monitor.close()
+        chunks = {
+            entry["labels"]["chunk"]
+            for entry in registry.snapshot()["gauges"]
+            if entry["name"] == HEARTBEAT_GAUGE
+        }
+        assert "serial" in chunks
+        assert any(label != "serial" for label in chunks), chunks
+        runs = registry.counter(
+            "repro_runs_total", {"engine": "rp-growth"}
+        )
+        assert runs.value == 2.0

@@ -154,6 +154,188 @@ class TestBenchTrace:
             assert any(s["name"] == "mine" for s in record["spans"])
 
 
+class TestProgressFlag:
+    def test_progress_streams_lines_to_stderr(self, example_file, capsys):
+        code = main([
+            "mine", "--input", example_file, *BASE, "--progress",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "8 recurring patterns" in captured.out
+        # capsys stderr is not a TTY, so lines append plainly.
+        assert "mine[rp-growth]: 1/1 (100%)" in captured.err
+        assert "rp-growth: 8 patterns" in captured.err
+
+    def test_no_progress_is_silent(self, example_file, capsys):
+        code = main([
+            "mine", "--input", example_file, *BASE, "--no-progress",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "1/1" not in captured.err
+
+    def test_progress_flags_are_mutually_exclusive(
+        self, example_file, capsys
+    ):
+        with pytest.raises(SystemExit):
+            main([
+                "mine", "--input", example_file, *BASE,
+                "--progress", "--no-progress",
+            ])
+
+    def test_progress_does_not_change_stdout(self, example_file, capsys):
+        assert main(["mine", "--input", example_file, *BASE]) == 0
+        plain = capsys.readouterr().out
+        assert main([
+            "mine", "--input", example_file, *BASE, "--progress",
+        ]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_every_long_subcommand_accepts_the_flag(
+        self, example_file, tmp_path, capsys
+    ):
+        assert main([
+            "mine", "--input", example_file, *BASE, "--no-progress",
+        ]) == 0
+        assert main([
+            "baseline", "--input", example_file, "--model", "p-pattern",
+            "--per", "2", "--min-sup", "4", "--no-progress",
+        ]) == 0
+        assert main([
+            "sweep", "--input", example_file, "--pers", "2",
+            "--min-ps", "3", "--min-recs", "2", "--no-progress",
+        ]) == 0
+        assert main([
+            "bench", "--dataset", "quest", "--scale", "0.005",
+            "--pers", "50", "--min-ps", "0.01", "--min-recs", "1",
+            "--no-progress",
+        ]) == 0
+        capsys.readouterr()
+
+    def test_sweep_progress_counts_cells(self, example_file, capsys):
+        code = main([
+            "sweep", "--input", example_file, "--pers", "2",
+            "--min-ps", "3", "--min-recs", "1", "2", "--progress",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "sweep: 2/2 (100%)" in captured.err
+
+    def test_qa_progress_reports_suite_boundaries(self, capsys):
+        code = main([
+            "qa", "--budget", "5", "--skip", "golden",
+            "--skip", "differential", "--engines", "rp-growth",
+            "--relation-cases", "0", "--report", "-", "--progress",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "qa: relations" in captured.err
+        assert "passed" in captured.err
+
+
+class TestMetricsOut:
+    def test_metrics_out_writes_valid_snapshots(
+        self, example_file, tmp_path, capsys
+    ):
+        from repro.obs.metrics import validate_metrics_record
+
+        metrics = tmp_path / "metrics.jsonl"
+        code = main([
+            "mine", "--input", example_file, *BASE,
+            "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        records = read_trace(str(metrics))
+        assert records
+        for record in records:
+            validate_metrics_record(record)
+        names = {e["name"] for e in records[-1]["counters"]}
+        assert "repro_mining_patterns_found_total" in names
+        assert "repro_runs_total" in names
+
+    def test_bench_metrics_out_single_file_both_sweeps(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.metrics import validate_metrics_record
+
+        metrics = tmp_path / "metrics.jsonl"
+        code = main([
+            "bench", "--dataset", "quest", "--scale", "0.005",
+            "--pers", "50", "--min-ps", "0.01", "--min-recs", "1",
+            "--runtime", "--metrics-out", str(metrics),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        records = read_trace(str(metrics))
+        assert records
+        for record in records:
+            validate_metrics_record(record)
+        # One shared monitor: the final snapshot accumulates both the
+        # count sweep and the runtime sweep (2 cells + repeats).
+        counters = {
+            e["name"]: e["value"] for e in records[-1]["counters"]
+        }
+        assert counters.get("repro_sweep_cells_mined_total", 0) >= 2
+
+
+class TestTraceSubcommand:
+    def _write_run_trace(self, example_file, tmp_path, name="run.jsonl"):
+        trace = tmp_path / name
+        assert main([
+            "mine", "--input", example_file, *BASE,
+            "--trace-out", str(trace),
+        ]) == 0
+        return str(trace)
+
+    def test_renders_tree_phases_critical_path(
+        self, example_file, tmp_path, capsys
+    ):
+        trace = self._write_run_trace(example_file, tmp_path)
+        capsys.readouterr()
+        code = main(["trace", "--input", trace])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 run" in out
+        assert "span tree:" in out
+        assert "per-phase aggregate" in out
+        assert "critical path:" in out
+        assert "8 patterns" in out
+
+    def test_compare_renders_deltas(self, example_file, tmp_path, capsys):
+        a = self._write_run_trace(example_file, tmp_path, "a.jsonl")
+        b = self._write_run_trace(example_file, tmp_path, "b.jsonl")
+        capsys.readouterr()
+        code = main(["trace", "--input", a, "--compare", b])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "A (s)" in out and "B (s)" in out
+        assert "patterns: A=8 B=8" in out
+        assert "DIFFER" not in out
+
+    def test_reads_sweep_and_qa_traces(self, tmp_path, capsys):
+        trace = tmp_path / "qa.jsonl"
+        assert main([
+            "qa", "--budget", "5", "--skip", "golden",
+            "--skip", "differential", "--engines", "rp-growth",
+            "--relation-cases", "0", "--no-progress",
+            "--report", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        code = main(["trace", "--input", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 qa" in out
+        assert "qa: PASS" in out
+
+    def test_malformed_trace_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        code = main(["trace", "--input", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error" in captured.err
+
+
 class TestLogLevel:
     def test_log_level_wires_stdlib_logging(self, example_file, capsys):
         root = logging.getLogger()
