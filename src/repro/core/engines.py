@@ -31,7 +31,7 @@ Examples
 --------
 >>> from repro.core.engines import ENGINES, get_engine
 >>> tuple(ENGINES)
-('rp-growth', 'rp-eclat', 'rp-eclat-np', 'naive')
+('rp-growth', 'rp-eclat', 'rp-eclat-np', 'rp-eclat-vec', 'naive')
 >>> get_engine("naive").supports_jobs
 False
 """
@@ -255,6 +255,12 @@ def _make_rp_eclat_np(per, min_ps, min_rec, **_ignored):
     return FastRPEclat(per, min_ps, min_rec)
 
 
+def _make_rp_eclat_vec(per, min_ps, min_rec, *, max_length=None, **_ignored):
+    from repro.core.rp_eclat_vec import RPEclatVec
+
+    return RPEclatVec(per, min_ps, min_rec, max_length=max_length)
+
+
 class _NaiveEngine:
     """Adapter giving the naive reference miner the engine protocol."""
 
@@ -300,6 +306,13 @@ register_engine(
     supports_jobs=True,
     family="vertical",
     description="vectorised vertical engine",
+)
+register_engine(
+    "rp-eclat-vec",
+    _make_rp_eclat_vec,
+    supports_jobs=True,
+    family="vertical",
+    description="batched columnar vertical engine (NumPy kernel)",
 )
 register_engine(
     "naive",

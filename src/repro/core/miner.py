@@ -90,8 +90,8 @@ def mine_recurring_patterns(
         A name from the engine registry (:data:`repro.core.engines.ENGINES`):
         ``"rp-growth"`` (the paper's algorithm, default), ``"rp-eclat"``
         (vertical cross-check engine), ``"rp-eclat-np"`` (vectorised
-        vertical engine) or ``"naive"`` (exhaustive; small inputs
-        only).  Engines added via
+        vertical engine), ``"rp-eclat-vec"`` (batched columnar NumPy
+        kernel) or ``"naive"`` (exhaustive; small inputs only).  Engines added via
         :func:`repro.core.engines.register_engine` work here too.
     jobs:
         Worker-process count.  ``None`` or ``1`` mines serially

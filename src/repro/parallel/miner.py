@@ -283,7 +283,7 @@ class ParallelMiner:
                 initializer=_worker.init_vertical_worker,
                 initargs=(
                     self.engine, params, self.pruning, self.max_length,
-                    candidates,
+                    candidates, getattr(serial, "parallel_context", None),
                 ),
                 chunk_fn=_worker.mine_vertical_chunk,
                 chunks=chunks,

@@ -42,7 +42,7 @@ __all__ = [
 ]
 
 #: Per-process engine state installed by the pool initializer.
-_VERTICAL_STATE: Optional[Tuple[str, ResolvedParameters, str, Optional[int], list]] = None
+_VERTICAL_STATE: Optional[Tuple[str, ResolvedParameters, str, Optional[int], list, object]] = None
 _GROWTH_STATE: Optional[Tuple[ResolvedParameters, Dict[Item, int], Optional[int]]] = None
 
 
@@ -52,16 +52,20 @@ def init_vertical_worker(
     pruning: str,
     max_length: Optional[int],
     candidates: list,
+    context: object = None,
 ) -> None:
     """Install the shared vertical-engine state in this worker process.
 
     ``candidates`` is the full canonical candidate list — every worker
     holds it because task ``i`` needs ``candidates[i + 1:]`` as its
     extension set; shipping it once via the initializer instead of per
-    task keeps payloads to bare indices.
+    task keeps payloads to bare indices.  ``context`` is extra shared
+    engine state the serial first scan produced (the columnar
+    :class:`~repro.core.rp_eclat_vec.VecContext` for ``rp-eclat-vec``;
+    ``None`` for the engines that need nothing beyond candidates).
     """
     global _VERTICAL_STATE
-    _VERTICAL_STATE = (engine, params, pruning, max_length, candidates)
+    _VERTICAL_STATE = (engine, params, pruning, max_length, candidates, context)
 
 
 def mine_vertical_chunk(
@@ -75,7 +79,7 @@ def mine_vertical_chunk(
     the serial search space.
     """
     assert _VERTICAL_STATE is not None, "worker initializer did not run"
-    engine, params, pruning, max_length, candidates = _VERTICAL_STATE
+    engine, params, pruning, max_length, candidates, context = _VERTICAL_STATE
     stats = MiningStats()
     found: List[RecurringPattern] = []
     collector = SpanCollector()
@@ -87,6 +91,14 @@ def mine_vertical_chunk(
                 params.per, params.min_ps, params.min_rec,
                 pruning=pruning, max_length=max_length,
             )
+        elif engine == "rp-eclat-vec":
+            from repro.core.rp_eclat_vec import RPEclatVec
+
+            miner = RPEclatVec(
+                params.per, params.min_ps, params.min_rec,
+                max_length=max_length,
+            )
+            miner.attach_context(context)
         else:
             from repro.core.accel import FastRPEclat
 

@@ -17,6 +17,7 @@ from repro.timeseries.calendar import (
     minute_of_day,
     minutes,
 )
+from repro.timeseries.columnar import ColumnarTDB
 from repro.timeseries.database import Transaction, TransactionalDatabase
 from repro.timeseries.events import Event, EventSequence
 from repro.timeseries.io import (
@@ -37,6 +38,7 @@ __all__ = [
     "EventSequence",
     "Transaction",
     "TransactionalDatabase",
+    "ColumnarTDB",
     "events_to_database",
     "database_to_events",
     "discretize_timestamps",

@@ -13,6 +13,7 @@ from __future__ import annotations
 import bisect
 import math
 from typing import (
+    TYPE_CHECKING,
     Dict,
     FrozenSet,
     Iterable,
@@ -26,6 +27,9 @@ from typing import (
 
 from repro.exceptions import DataFormatError, EmptyDatabaseError
 from repro.timeseries.events import Event, EventSequence, Item
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.timeseries.columnar import ColumnarTDB
 
 __all__ = ["Transaction", "TransactionalDatabase"]
 
@@ -69,7 +73,7 @@ class TransactionalDatabase:
     ['a', 'b', 'g']
     """
 
-    __slots__ = ("_transactions", "_item_index")
+    __slots__ = ("_transactions", "_item_index", "_columnar")
 
     def __init__(self, transactions: Iterable[Tuple[float, Iterable[Item]]] = ()):
         merged: Dict[float, set] = {}
@@ -96,6 +100,7 @@ class TransactionalDatabase:
             Transaction(ts, frozenset(merged[ts])) for ts in sorted(merged)
         )
         self._item_index: Optional[Dict[Item, Tuple[float, ...]]] = None
+        self._columnar = None
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -172,6 +177,20 @@ class TransactionalDatabase:
                 item: tuple(ts_list) for item, ts_list in index.items()
             }
         return self._item_index
+
+    def columnar(self) -> "ColumnarTDB":
+        """Array-backed vertical view (see :mod:`repro.timeseries.columnar`).
+
+        Built from the cached :meth:`item_timestamps` scan on first use
+        and cached alongside it; the database is immutable so neither
+        cache ever goes stale.  Repeated mines and sweep columns over
+        the same database therefore share one materialisation.
+        """
+        if self._columnar is None:
+            from repro.timeseries.columnar import ColumnarTDB
+
+            self._columnar = ColumnarTDB.from_database(self)
+        return self._columnar
 
     def timestamps_of(self, pattern: Iterable[Item]) -> Tuple[float, ...]:
         """``TS^X``: ordered timestamps of transactions containing ``pattern``.

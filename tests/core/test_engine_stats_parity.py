@@ -4,8 +4,8 @@ Every engine populates the shared :class:`repro.obs.counters.MiningStats`
 protocol, so the ablation benches can compare any pair of engines.  On
 the paper's running example (Table 2) the counters must agree:
 
-* all four engines report the same ``patterns_found``;
-* the three pruning engines compute the exact recurrence of exactly
+* every engine reports the same ``patterns_found``;
+* the pruning engines compute the exact recurrence of exactly
   the same candidate set (``Erec`` is anti-monotone, so the candidate
   lattice is engine-order independent), hence equal
   ``recurrence_evaluations`` and ``candidate_patterns``;
@@ -17,7 +17,9 @@ import pytest
 from repro.core.miner import ENGINES, mine_recurring_patterns
 from repro.datasets import paper_running_example
 
-PRUNING_ENGINES = ("rp-growth", "rp-eclat", "rp-eclat-np")
+PRUNING_ENGINES = (
+    "rp-growth", "rp-eclat", "rp-eclat-np", "rp-eclat-vec"
+)
 
 
 @pytest.fixture(scope="module")
@@ -81,7 +83,7 @@ class TestCounterParity:
     def test_structure_counters_match_engine_family(self, per_engine_runs):
         assert per_engine_runs["rp-growth"][1].stats.initial_tree_nodes > 0
         assert per_engine_runs["rp-growth"][1].stats.tid_list_entries == 0
-        for engine in ("rp-eclat", "rp-eclat-np"):
+        for engine in ("rp-eclat", "rp-eclat-np", "rp-eclat-vec"):
             stats = per_engine_runs[engine][1].stats
             assert stats.initial_tree_nodes == 0, engine
             assert stats.tid_list_entries > 0, engine

@@ -20,10 +20,10 @@ from repro.exceptions import ParameterError
 class TestRegistry:
     def test_builtin_engines_in_order(self):
         assert tuple(ENGINES) == (
-            "rp-growth", "rp-eclat", "rp-eclat-np", "naive"
+            "rp-growth", "rp-eclat", "rp-eclat-np", "rp-eclat-vec", "naive"
         )
         assert tuple(PARALLEL_ENGINES) == (
-            "rp-growth", "rp-eclat", "rp-eclat-np"
+            "rp-growth", "rp-eclat", "rp-eclat-np", "rp-eclat-vec"
         )
 
     def test_get_engine_returns_spec(self):
@@ -70,10 +70,12 @@ class TestRegistry:
 
 class TestEngineView:
     def test_behaves_like_a_tuple(self):
-        assert len(ENGINES) == 4
+        assert len(ENGINES) == 5
         assert ENGINES[0] == "rp-growth"
         assert "naive" in ENGINES
-        assert ENGINES == ("rp-growth", "rp-eclat", "rp-eclat-np", "naive")
+        assert ENGINES == (
+            "rp-growth", "rp-eclat", "rp-eclat-np", "rp-eclat-vec", "naive"
+        )
         assert list(ENGINES) == list(engine_names())
 
     def test_concatenates_like_a_tuple(self):

@@ -150,7 +150,9 @@ def test_persistent_poison_falls_back_to_serial(engine):
     ]
 
 
-@pytest.mark.parametrize("engine", ("rp-eclat", "rp-eclat-np"))
+@pytest.mark.parametrize(
+    "engine", ("rp-eclat", "rp-eclat-np", "rp-eclat-vec")
+)
 def test_persistent_crash_falls_back_to_serial(engine):
     """The fallback path must also survive a fault that kills every
     pool — the in-process re-mine runs unguarded, so the injected

@@ -60,6 +60,7 @@ def test_engine_matrix_covers_all_engines_naive_serial_only():
         ("rp-growth", 1), ("rp-growth", 2),
         ("rp-eclat", 1), ("rp-eclat", 2),
         ("rp-eclat-np", 1), ("rp-eclat-np", 2),
+        ("rp-eclat-vec", 1), ("rp-eclat-vec", 2),
         ("naive", 1),
     }
     assert engine_matrix(ENGINES, jobs_values=(1,)) == [

@@ -1,0 +1,78 @@
+"""The columnar view: CSR round-trip, caching, dtypes, overflow guards."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.datasets import paper_running_example
+from repro.exceptions import ParameterError
+from repro.timeseries import ColumnarTDB, TransactionalDatabase
+from tests.conftest import small_databases
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestConstruction:
+    def test_running_example_layout(self):
+        column = paper_running_example().columnar()
+        assert column.timestamps.dtype == np.int64
+        assert column.timestamps.tolist() == sorted(
+            column.timestamps.tolist()
+        )
+        assert column.items == tuple(sorted(column.items, key=repr))
+        assert column.indptr[0] == 0
+        assert column.indptr[-1] == column.indices.size
+        assert column.n_transactions == len(paper_running_example())
+
+    def test_rows_round_trip_item_timestamps(self):
+        db = paper_running_example()
+        column = db.columnar()
+        index = db.item_timestamps()
+        for position, item in enumerate(column.items):
+            row = column.item_rows(position)
+            # Strictly increasing ids that gather back the exact
+            # point sequence of the item.
+            assert (np.diff(row) > 0).all() or row.size <= 1
+            assert column.timestamps[row].tolist() == list(index[item])
+
+    @RELAXED
+    @given(db=small_databases())
+    def test_round_trip_on_random_databases(self, db):
+        column = db.columnar()
+        index = db.item_timestamps()
+        assert set(column.items) == set(index)
+        for position, item in enumerate(column.items):
+            recovered = column.timestamps[column.item_rows(position)]
+            assert recovered.tolist() == list(index[item])
+
+    def test_empty_database(self):
+        column = TransactionalDatabase([]).columnar()
+        assert column.n_transactions == 0
+        assert column.items == ()
+        assert column.indices.size == 0
+        assert column.indptr.tolist() == [0]
+
+
+class TestCachingAndDtypes:
+    def test_view_is_cached_on_the_database(self):
+        db = paper_running_example()
+        assert db.columnar() is db.columnar()
+
+    def test_index_dtype_is_compact(self):
+        # Any database this test suite can build fits int32 ids.
+        column = paper_running_example().columnar()
+        assert column.indices.dtype == np.int32
+
+    def test_float_timestamps_select_float64(self):
+        db = TransactionalDatabase([(0.5, "a"), (1.5, "ab")])
+        column = db.columnar()
+        assert column.timestamps.dtype == np.float64
+
+    def test_unsafe_timestamps_raise_parameter_error(self):
+        db = TransactionalDatabase([(2 ** 62, "a")])
+        with pytest.raises(ParameterError, match="2\\*\\*62"):
+            db.columnar()
