@@ -72,6 +72,15 @@ MUTATIONS: Tuple[Mutation, ...] = (
         before="elif ts - self.last_ts <= per:",
         after="elif ts - self.last_ts < per:",
     ),
+    # Streaming-only: batch engines and the oracle are untouched, so
+    # neither differential testing nor the goldens can see it — only
+    # the stream-batch / stream-checkpoint-resume relations go red.
+    Mutation(
+        name="streaming-strict-gap",
+        path="repro/streaming/monitor.py",
+        before="elif ts - state.last_ts <= self.per:",
+        after="elif ts - state.last_ts < self.per:",
+    ),
 )
 
 

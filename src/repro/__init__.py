@@ -44,10 +44,16 @@ from repro.core.periods import suggest_per
 from repro.core.rp_eclat import RPEclat
 from repro.core.rp_growth import MiningStats, RPGrowth
 from repro.core.rules import RecurringRule, SeasonalRecommender, derive_rules
-from repro.core.streaming import StreamingRecurrenceMonitor
 from repro.core.targeted import mine_patterns_containing
 from repro.obs import MiningTelemetry, SpanCollector, span
 from repro.parallel import ParallelMiner
+from repro.streaming import (
+    CalendarPeriod,
+    CalendarRecurrenceMonitor,
+    ShardedMonitorRegistry,
+    StreamingRecurrenceMonitor,
+    mine_calendar_patterns,
+)
 from repro.sweep import SweepPlan, SweepResult, run_sweep
 from repro.exceptions import (
     ChunkFailedError,
@@ -85,6 +91,10 @@ __all__ = [
     "SeasonalRecommender",
     "derive_rules",
     "StreamingRecurrenceMonitor",
+    "ShardedMonitorRegistry",
+    "CalendarPeriod",
+    "CalendarRecurrenceMonitor",
+    "mine_calendar_patterns",
     "suggest_per",
     "mine_patterns_containing",
     # Configuration and the engine registry

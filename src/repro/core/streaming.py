@@ -1,240 +1,18 @@
-"""Online monitoring of recurring behaviour over an unbounded stream.
+"""Compatibility re-export of the streaming monitor.
 
-The batch miners need the whole database; operational settings (the
-paper's network-administration motivation) want to watch a live event
-stream and know, *as events arrive*, which items are inside a periodic
-stretch, which stretches have become interesting, and which items have
-reached the recurrence threshold.
+The streaming layer grew into its own package —
+:mod:`repro.streaming` — when the sharded multi-tenant registry,
+calendar periods and ``repro-stream/v1`` checkpoints were added.  The
+single-stream monitor and its per-item state are re-exported here so
+existing imports keep working:
 
-:class:`StreamingRecurrenceMonitor` maintains, per item, exactly the
-state of the paper's Algorithm 1 / Algorithm 5 — the timestamp of the
-last occurrence, the periodic-support of the open run, the closed
-interesting intervals and the streaming ``Erec`` — in O(1) per event.
-Feeding a whole database through the monitor reproduces the batch
-RP-list and per-item recurrence bit-for-bit (tested), which is the
-incremental-maintenance property: appending new transactions never
-requires a rescan.
+>>> from repro.core.streaming import StreamingRecurrenceMonitor
 
-The monitor tracks *items*; to watch a specific itemset, register it as
-a composite via :meth:`watch_pattern` — the monitor then treats a
-transaction containing the whole itemset as one occurrence of the
-composite.
+New code should import from :mod:`repro.streaming` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
-
-from repro._validation import Number, check_count, check_positive
-from repro.core.model import PeriodicInterval
-from repro.obs.counters import MiningStats
-from repro.obs.spans import span
-from repro.timeseries.database import TransactionalDatabase
-from repro.timeseries.events import Item
+from repro.streaming.monitor import ItemState, StreamingRecurrenceMonitor
 
 __all__ = ["ItemState", "StreamingRecurrenceMonitor"]
-
-IntervalCallback = Callable[[Item, PeriodicInterval], None]
-
-
-@dataclass
-class ItemState:
-    """Streaming per-item state (the paper's idl/ps/erec trio, plus the
-    closed interesting intervals)."""
-
-    support: int = 0
-    erec: int = 0
-    last_ts: float = 0.0
-    run_start: float = 0.0
-    current_ps: int = 0
-    intervals: List[PeriodicInterval] = field(default_factory=list)
-
-    @property
-    def recurrence(self) -> int:
-        """Interesting intervals closed so far (open run excluded)."""
-        return len(self.intervals)
-
-
-class StreamingRecurrenceMonitor:
-    """Watch an event stream for recurring items and itemsets.
-
-    Parameters
-    ----------
-    per, min_ps, min_rec:
-        Model thresholds; ``min_ps`` must be an absolute count here (a
-        stream has no fixed size to take a fraction of).
-    on_interval:
-        Optional callback fired whenever an interesting interval
-        *closes* (the run breaks after reaching ``min_ps``).
-
-    Examples
-    --------
-    >>> monitor = StreamingRecurrenceMonitor(per=2, min_ps=3, min_rec=2)
-    >>> for ts in [1, 3, 4]:
-    ...     monitor.observe(ts, ["a"])
-    >>> monitor.observe(10, ["a"])   # run breaks: [1, 4] closes
-    >>> monitor.recurrence("a")
-    1
-    """
-
-    def __init__(
-        self,
-        per: Number,
-        min_ps: int,
-        min_rec: int = 1,
-        on_interval: Optional[IntervalCallback] = None,
-    ):
-        check_positive(per, "per")
-        check_count(min_ps, "min_ps")
-        check_count(min_rec, "min_rec")
-        self.per = per
-        self.min_ps = min_ps
-        self.min_rec = min_rec
-        self.on_interval = on_interval
-        self._states: Dict[Item, ItemState] = {}
-        self._patterns: Dict[Item, FrozenSet[Item]] = {}
-        self._last_ts: Optional[float] = None
-        #: Shared counters (:mod:`repro.obs.counters`), mapped to the
-        #: streaming setting: ``candidate_items`` = distinct tracked
-        #: items/composites, ``erec_evaluations`` = run closures (each
-        #: updates the streaming Erec), ``recurrence_evaluations`` =
-        #: interesting intervals closed, ``patterns_found`` = items
-        #: that have crossed ``min_rec``.
-        self.stats = MiningStats()
-
-    # ------------------------------------------------------------------
-    # Feeding
-    # ------------------------------------------------------------------
-    def watch_pattern(self, items: Iterable[Item], label: Item) -> None:
-        """Track the itemset ``items`` as the composite item ``label``.
-
-        Must be registered before the relevant events arrive; a
-        transaction containing every item of the set counts as one
-        occurrence of ``label``.
-        """
-        itemset = frozenset(items)
-        if not itemset:
-            raise ValueError("a watched pattern needs at least one item")
-        self._patterns[label] = itemset
-
-    def observe(self, ts: float, items: Iterable[Item]) -> None:
-        """Feed one transaction.  Timestamps must strictly increase."""
-        if self._last_ts is not None and ts <= self._last_ts:
-            raise ValueError(
-                f"timestamps must strictly increase; got {ts!r} after "
-                f"{self._last_ts!r}"
-            )
-        self._last_ts = ts
-        itemset = frozenset(items)
-        for item in itemset:
-            self._touch(item, ts)
-        for label, pattern in self._patterns.items():
-            if pattern <= itemset:
-                self._touch(label, ts)
-
-    def observe_database(self, database: TransactionalDatabase) -> None:
-        """Feed a whole (timestamp-ordered) database."""
-        with span("stream_replay"):
-            for ts, itemset in database:
-                self.observe(ts, itemset)
-
-    # ------------------------------------------------------------------
-    # Queries
-    # ------------------------------------------------------------------
-    def state(self, item: Item) -> ItemState:
-        """The streaming state of ``item`` (KeyError if never seen)."""
-        return self._states[item]
-
-    def recurrence(self, item: Item, include_open_run: bool = False) -> int:
-        """Closed interesting intervals of ``item`` so far.
-
-        With ``include_open_run`` the still-open run is counted too,
-        provided it has already reached ``min_ps``.
-        """
-        state = self._states.get(item)
-        if state is None:
-            return 0
-        count = state.recurrence
-        if include_open_run and state.current_ps >= self.min_ps:
-            count += 1
-        return count
-
-    def is_recurring(self, item: Item) -> bool:
-        """Has ``item`` reached ``min_rec`` interesting intervals yet?"""
-        return self.recurrence(item, include_open_run=True) >= self.min_rec
-
-    def recurring_items(self) -> List[Item]:
-        """All seen items/composites currently classified recurring."""
-        return sorted(
-            (item for item in self._states if self.is_recurring(item)),
-            key=repr,
-        )
-
-    def intervals(self, item: Item, include_open_run: bool = False) -> Tuple[
-        PeriodicInterval, ...
-    ]:
-        """Interesting intervals of ``item``, oldest first."""
-        state = self._states.get(item)
-        if state is None:
-            return ()
-        result = list(state.intervals)
-        if include_open_run and state.current_ps >= self.min_ps:
-            result.append(
-                PeriodicInterval(state.run_start, state.last_ts, state.current_ps)
-            )
-        return tuple(result)
-
-    def erec(self, item: Item, include_open_run: bool = True) -> int:
-        """Streaming estimated-maximum-recurrence of ``item``.
-
-        With ``include_open_run`` (the default) the open run's
-        contribution is included, matching line 15 of Algorithm 1.
-        """
-        state = self._states.get(item)
-        if state is None:
-            return 0
-        value = state.erec
-        if include_open_run:
-            value += state.current_ps // self.min_ps
-        return value
-
-    def support(self, item: Item) -> int:
-        """Occurrences of ``item`` seen so far (0 if never seen)."""
-        state = self._states.get(item)
-        return 0 if state is None else state.support
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _touch(self, item: Item, ts: float) -> None:
-        state = self._states.get(item)
-        if state is None:
-            state = ItemState()
-            self._states[item] = state
-            self.stats.candidate_items += 1
-        if state.support == 0:
-            state.run_start = ts
-            state.current_ps = 1
-        elif ts - state.last_ts <= self.per:
-            state.current_ps += 1
-        else:
-            self._close_run(item, state)
-            state.run_start = ts
-            state.current_ps = 1
-        state.support += 1
-        state.last_ts = ts
-
-    def _close_run(self, item: Item, state: ItemState) -> None:
-        state.erec += state.current_ps // self.min_ps
-        self.stats.erec_evaluations += 1
-        if state.current_ps >= self.min_ps:
-            interval = PeriodicInterval(
-                state.run_start, state.last_ts, state.current_ps
-            )
-            state.intervals.append(interval)
-            self.stats.recurrence_evaluations += 1
-            if len(state.intervals) == self.min_rec:
-                self.stats.patterns_found += 1
-            if self.on_interval is not None:
-                self.on_interval(item, interval)

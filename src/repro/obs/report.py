@@ -41,6 +41,7 @@ from repro.obs.spans import Span, SpanCollector, span
 __all__ = [
     "QA_SCHEMA",
     "RUN_SCHEMA",
+    "STREAM_SCHEMA",
     "SWEEP_SCHEMA",
     "MiningTelemetry",
     "TraceWriter",
@@ -49,6 +50,7 @@ __all__ = [
     "read_trace",
     "validate_qa_record",
     "validate_run_record",
+    "validate_stream_record",
     "validate_sweep_record",
 ]
 
@@ -62,6 +64,30 @@ QA_SCHEMA = "repro-qa/v1"
 
 #: Schema tag carried by every shared-scan sweep record.
 SWEEP_SCHEMA = "repro-sweep/v1"
+
+#: Schema tag carried by every streaming-checkpoint record.
+STREAM_SCHEMA = "repro-stream/v1"
+
+#: Keys a ``repro-stream/v1`` header record must carry, with types.
+_STREAM_HEADER_REQUIRED: Tuple[Tuple[str, type], ...] = (
+    ("schema", str),
+    ("kind", str),
+    ("shards", int),
+    ("params", dict),
+    ("streams", int),
+    ("active", int),
+    ("evicted", int),
+    ("lru", list),
+    ("watched", list),
+)
+
+#: Keys a ``repro-stream/v1`` per-stream record must carry, with types.
+_STREAM_STATE_REQUIRED: Tuple[Tuple[str, type], ...] = (
+    ("schema", str),
+    ("kind", str),
+    ("shard", int),
+    ("state", dict),
+)
 
 #: Top-level keys every ``repro-qa/v1`` record must carry, with types.
 _QA_REQUIRED: Tuple[Tuple[str, type], ...] = (
@@ -402,6 +428,66 @@ def validate_qa_record(record: Mapping[str, object]) -> None:
             raise ValueError(f"qa record differential missing {key!r}")
     if not isinstance(differential["failures"], list):  # type: ignore[index]
         raise ValueError("qa record differential 'failures' must be a list")
+
+
+def validate_stream_record(record: Mapping[str, object]) -> None:
+    """Raise ``ValueError`` unless ``record`` is a valid stream record.
+
+    The ``repro-stream/v1`` schema is the checkpoint format of the
+    sharded streaming registry (:mod:`repro.streaming`): one
+    ``stream-checkpoint`` header line followed by one ``stream-state``
+    line per stream, all written through the same :class:`TraceWriter`
+    sink as ``repro-run/v1`` records.  See ``docs/streaming.md`` for
+    the field-by-field contract.
+
+    Examples
+    --------
+    >>> validate_stream_record({"schema": "bogus"})
+    Traceback (most recent call last):
+        ...
+    ValueError: stream record schema 'bogus' != 'repro-stream/v1'
+    """
+    schema = record.get("schema")
+    if schema != STREAM_SCHEMA:
+        raise ValueError(
+            f"stream record schema {schema!r} != {STREAM_SCHEMA!r}"
+        )
+    kind = record.get("kind")
+    if kind == "stream-checkpoint":
+        required = _STREAM_HEADER_REQUIRED
+    elif kind == "stream-state":
+        required = _STREAM_STATE_REQUIRED
+    else:
+        raise ValueError(
+            f"stream record kind {kind!r} is not one of "
+            f"'stream-checkpoint', 'stream-state'"
+        )
+    for key, expected in required:
+        if key not in record:
+            raise ValueError(f"stream record missing required key {key!r}")
+        value = record[key]
+        if not isinstance(value, expected) or (
+            expected is int and isinstance(value, bool)
+        ):
+            raise ValueError(
+                f"stream record key {key!r} must be {expected.__name__}, "
+                f"got {type(value).__name__}"
+            )
+    if kind == "stream-checkpoint":
+        if record["shards"] < 1:  # type: ignore[operator]
+            raise ValueError("stream record 'shards' must be >= 1")
+        for key in ("min_ps", "min_rec"):
+            if key not in record["params"]:  # type: ignore[operator]
+                raise ValueError(f"stream record params missing {key!r}")
+    else:
+        if "stream" not in record:
+            raise ValueError("stream record missing required key 'stream'")
+        state_kind = record["state"].get("kind")  # type: ignore[union-attr]
+        if state_kind not in ("monitor", "calendar-monitor"):
+            raise ValueError(
+                f"stream record state kind {state_kind!r} is not one of "
+                f"'monitor', 'calendar-monitor'"
+            )
 
 
 class TraceWriter:

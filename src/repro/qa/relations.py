@@ -9,7 +9,7 @@ set is exactly predicted by the model of Definitions 1–9.  A pruning
 bug, an ordering bug or a parallel-merge bug shows up as a violated
 prediction even on databases where no reference result is known.
 
-The registry :data:`RELATIONS` holds five relations:
+The registry :data:`RELATIONS` holds seven relations:
 
 ``time-shift``
     Shifting every timestamp by a constant shifts every interval by the
@@ -33,6 +33,19 @@ The registry :data:`RELATIONS` holds five relations:
     split transactions sharing a timestamp) changes nothing: the
     time-series-to-TDB transformation groups by timestamp and itemsets
     are sets (Section 3).
+``stream-batch``
+    Feeding the database through the sharded streaming registry
+    (:mod:`repro.streaming`) — under eviction pressure, at shard counts
+    1, 4 and 16 — yields exactly the batch engine's pattern set.  This
+    is the incremental-maintenance property: the streaming monitor
+    maintains the RP-list state of Algorithm 1 per event, so sharding,
+    eviction and re-admission must be observationally invisible.
+``stream-checkpoint-resume``
+    Checkpointing the registry at a (case-derived) random cut,
+    restoring, and resuming is *byte-identical* to the uninterrupted
+    stream — same final checkpoint bytes, same intervals emitted after
+    the cut — at shard counts 1, 4 and 16.  The streamed result must
+    also still equal the batch engine's.
 
 Each relation is checked per engine and per ``jobs`` level: the engine
 mines the base case and the transformed case, and the transformed
@@ -76,6 +89,7 @@ from repro.timeseries.database import TransactionalDatabase
 
 __all__ = [
     "RELATIONS",
+    "STREAM_SHARDS",
     "MetamorphicRelation",
     "RelationCase",
     "RelationCheck",
@@ -279,6 +293,232 @@ def _duplicate_expected(mine: MineFn, rows: Rows, params: CaseParams):
     return mine(rows, params)
 
 
+# ----------------------------------------------------------------------
+# Streaming relations (repro.streaming vs. the batch engines)
+# ----------------------------------------------------------------------
+#: Shard counts the streaming relations are checked at.
+STREAM_SHARDS: Tuple[int, ...] = (1, 4, 16)
+
+#: Active-monitor cap used while replaying relation cases.  With the
+#: case stream plus two padding streams this forces eviction and
+#: re-admission churn mid-replay, so the relations also pin "eviction
+#: is observationally invisible".
+_STREAM_MAX_ACTIVE = 2
+
+#: Memo of streamed replays, keyed by (rows, params, shards) — the
+#: streamed side is engine-independent, so one replay serves all nine
+#: (engine, jobs) cells of the matrix.
+_STREAM_MEMO: Dict[tuple, list] = {}
+
+
+def _stream_case_key(rows: Rows, params: CaseParams, shards: int) -> tuple:
+    return (
+        tuple((ts, tuple(items)) for ts, items in rows),
+        params,
+        shards,
+    )
+
+
+def _stream_candidates(database: TransactionalDatabase) -> List[frozenset]:
+    """Every non-empty sub-itemset of any transaction.
+
+    These are exactly the itemsets that can have non-zero support, so
+    enumerating them (bounded by the corpus' small per-transaction
+    alphabets) gives the streaming side a complete candidate universe
+    to compare against the batch engine's mined set.
+    """
+    candidates = set()
+    for _, itemset in database:
+        items = sorted(itemset, key=repr)
+        for mask in range(1, 1 << len(items)):
+            candidates.add(
+                frozenset(
+                    items[i] for i in range(len(items)) if mask >> i & 1
+                )
+            )
+    return sorted(candidates, key=lambda c: sorted(str(i) for i in c))
+
+
+def _stream_registry(params: CaseParams, min_ps: int, shards: int,
+                     candidates: Sequence[frozenset], on_interval=None):
+    """A relation-case registry with every candidate itemset watched."""
+    from repro.streaming import ShardedMonitorRegistry
+
+    registry = ShardedMonitorRegistry(
+        per=params.per,
+        min_ps=min_ps,
+        min_rec=params.min_rec,
+        shards=shards,
+        max_active=_STREAM_MAX_ACTIVE,
+        on_interval=on_interval,
+    )
+    for candidate in candidates:
+        if len(candidate) > 1:
+            registry.watch_pattern(candidate, candidate)
+    return registry
+
+
+def _stream_feed(registry, transactions: Sequence, lo: int, hi: int) -> None:
+    """Replay ``transactions[lo:hi]`` as stream ``"qa"``, interleaved
+    with padding streams so multiple shards hold state and the
+    ``max_active`` cap keeps evicting and re-admitting mid-replay."""
+    for index in range(lo, hi):
+        ts, itemset = transactions[index]
+        registry.observe("qa", ts, itemset)
+        registry.observe("pad-0", index + 1, ["pad"])
+        if index % 2 == 0:
+            registry.observe("pad-1", index + 1, ["pad"])
+
+
+def _stream_canonical(registry, candidates: Sequence[frozenset],
+                      min_rec: int) -> List[tuple]:
+    """The ``"qa"`` stream's recurring patterns, in canonical form."""
+    try:
+        monitor = registry.monitor("qa")
+    except KeyError:
+        return []
+    entries = []
+    for candidate in candidates:
+        key = next(iter(candidate)) if len(candidate) == 1 else candidate
+        rec = monitor.recurrence(key, include_open_run=True)
+        if rec < min_rec:
+            continue
+        entries.append(
+            (
+                tuple(sorted(str(item) for item in candidate)),
+                monitor.support(key),
+                rec,
+                monitor.intervals(key, include_open_run=True),
+            )
+        )
+    return sorted(entries)
+
+
+def _streamed_run(rows: Rows, params: CaseParams, shards: int) -> List[tuple]:
+    """Replay a case through the registry; memoized across cells."""
+    key = _stream_case_key(rows, params, shards)
+    if key in _STREAM_MEMO:
+        return _STREAM_MEMO[key]
+    database = TransactionalDatabase(rows)
+    min_ps = resolve_count_threshold(params.min_ps, "min_ps", len(database))
+    candidates = _stream_candidates(database)
+    registry = _stream_registry(params, min_ps, shards, candidates)
+    transactions = list(database)
+    _stream_feed(registry, transactions, 0, len(transactions))
+    result = _stream_canonical(registry, candidates, params.min_rec)
+    if len(_STREAM_MEMO) > 256:
+        _STREAM_MEMO.clear()
+    _STREAM_MEMO[key] = result
+    return result
+
+
+def _stream_batch_transform(rows: Rows, params: CaseParams):
+    return list(rows), params
+
+
+def _stream_batch_expected(mine: MineFn, rows: Rows, params: CaseParams):
+    # The prediction is computed by an *independent implementation* —
+    # the streaming registry — so unlike the other relations this one
+    # needs no engine re-mine at all; `mine` supplies the "got" side.
+    del mine
+    variants = [_streamed_run(rows, params, s) for s in STREAM_SHARDS]
+    expected = list(variants[0])
+    for shards, variant in zip(STREAM_SHARDS[1:], variants[1:]):
+        if variant != variants[0]:
+            expected.append(
+                (("__shard-divergence__", f"shards={shards}"), -1, -1, ())
+            )
+    return expected
+
+
+def _checkpoint_cut(rows: Rows, params: CaseParams, size: int,
+                    shards: int) -> int:
+    """A case-derived pseudo-random cut point in ``[0, size]``."""
+    seed = repr((_stream_case_key(rows, params, shards), "cut"))
+    return random.Random(seed).randrange(size + 1)
+
+
+def _checkpoint_roundtrip(rows: Rows, params: CaseParams,
+                          shards: int):
+    """Checkpoint/restore/resume at a random cut vs. the uninterrupted
+    stream.  Returns ``None`` when both futures are identical, else a
+    marker entry naming the divergence."""
+    import io
+
+    from repro.streaming import ShardedMonitorRegistry, item_sort_key
+
+    database = TransactionalDatabase(rows)
+    if len(database) == 0:
+        return None
+    min_ps = resolve_count_threshold(params.min_ps, "min_ps", len(database))
+    candidates = _stream_candidates(database)
+    transactions = list(database)
+    cut = _checkpoint_cut(rows, params, len(transactions), shards)
+
+    emitted_full: List[tuple] = []
+    emitted_resumed: List[tuple] = []
+
+    def sink(log, gate):
+        def fire(stream, item, interval):
+            if gate[0]:
+                log.append(
+                    (item_sort_key(stream), item_sort_key(item), interval)
+                )
+
+        return fire
+
+    # Uninterrupted future (intervals recorded only after the cut, to
+    # compare against what the resumed registry emits).
+    past_cut = [False]
+    full = _stream_registry(params, min_ps, shards, candidates,
+                            on_interval=sink(emitted_full, past_cut))
+    _stream_feed(full, transactions, 0, cut)
+    past_cut[0] = True
+    _stream_feed(full, transactions, cut, len(transactions))
+    final_full = io.StringIO()
+    full.checkpoint(final_full)
+
+    # Interrupted future: checkpoint at the cut, restore, resume.
+    interrupted = _stream_registry(params, min_ps, shards, candidates)
+    _stream_feed(interrupted, transactions, 0, cut)
+    middle = io.StringIO()
+    interrupted.checkpoint(middle)
+    middle.seek(0)
+    resumed = ShardedMonitorRegistry.restore(
+        middle, on_interval=sink(emitted_resumed, [True])
+    )
+    _stream_feed(resumed, transactions, cut, len(transactions))
+    final_resumed = io.StringIO()
+    resumed.checkpoint(final_resumed)
+
+    if final_resumed.getvalue() != final_full.getvalue():
+        return (
+            ("__checkpoint-divergence__", f"shards={shards}", f"cut={cut}"),
+            -1, -1, (),
+        )
+    if emitted_resumed != emitted_full:
+        return (
+            ("__interval-emission-divergence__", f"shards={shards}",
+             f"cut={cut}"),
+            -1, -1, (),
+        )
+    return None
+
+
+def _checkpoint_transform(rows: Rows, params: CaseParams):
+    return list(rows), params
+
+
+def _checkpoint_expected(mine: MineFn, rows: Rows, params: CaseParams):
+    del mine
+    expected = list(_streamed_run(rows, params, STREAM_SHARDS[0]))
+    for shards in STREAM_SHARDS:
+        marker = _checkpoint_roundtrip(rows, params, shards)
+        if marker is not None:
+            expected.append(marker)
+    return expected
+
+
 RELATIONS: Tuple[MetamorphicRelation, ...] = (
     MetamorphicRelation(
         name="time-shift",
@@ -333,6 +573,36 @@ RELATIONS: Tuple[MetamorphicRelation, ...] = (
         ),
         transform=_duplicate_transform,
         expected=_duplicate_expected,
+    ),
+    MetamorphicRelation(
+        name="stream-batch",
+        description=(
+            "sharded streaming replay (shards 1/4/16, under eviction "
+            "pressure) equals batch mining"
+        ),
+        paper_basis=(
+            "the streaming monitor maintains Algorithm 1's per-item "
+            "state incrementally, so feeding the database through "
+            "repro.streaming must reproduce the batch RP-list exactly "
+            "(incremental maintenance; Definitions 4-8)"
+        ),
+        transform=_stream_batch_transform,
+        expected=_stream_batch_expected,
+    ),
+    MetamorphicRelation(
+        name="stream-checkpoint-resume",
+        description=(
+            "checkpoint/restore/resume at a random cut is byte-"
+            "identical to the uninterrupted stream (shards 1/4/16)"
+        ),
+        paper_basis=(
+            "the monitor state (Algorithm 1's idl/ps/erec trio plus "
+            "closed intervals) is the complete sufficient statistic "
+            "of the prefix, so serializing and restoring it must not "
+            "change any future output"
+        ),
+        transform=_checkpoint_transform,
+        expected=_checkpoint_expected,
     ),
 )
 

@@ -1,0 +1,209 @@
+"""The ``repro-stream/v1`` checkpoint format.
+
+A checkpoint is a JSON-lines document written through the same
+:class:`~repro.obs.report.TraceWriter` sink as every other record
+schema in this repo (``repro-run/v1``, ``repro-sweep/v1``, …):
+
+* one ``{"kind": "stream-checkpoint", ...}`` header line carrying the
+  registry configuration (shard count, thresholds, stream census), and
+* one ``{"kind": "stream-state", ...}`` line per stream — active or
+  spilled alike — whose ``state`` payload is the monitor's
+  :meth:`~repro.streaming.monitor.StreamingRecurrenceMonitor.state_dict`.
+
+Records are validated on write *and* on read by
+:func:`~repro.obs.report.validate_stream_record`, and streams are
+emitted in a deterministic order (shard, then encoded key), so two
+registries in identical logical state produce byte-identical
+checkpoints — the property the QA gate's checkpoint-resume relation
+pins.
+
+:func:`monitor_from_state` is the single factory that turns a
+``state`` payload back into the right monitor class (plain or
+calendar), used by both checkpoint restore and eviction re-admission.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import DataFormatError
+from repro.obs.report import (
+    STREAM_SCHEMA,
+    TraceWriter,
+    iter_trace,
+    validate_stream_record,
+)
+
+from repro.streaming.calendar import CalendarRecurrenceMonitor
+from repro.streaming.monitor import (
+    StreamingRecurrenceMonitor,
+    decode_item,
+    encode_item,
+    item_sort_key,
+)
+
+__all__ = [
+    "monitor_from_state",
+    "read_checkpoint",
+    "write_checkpoint",
+]
+
+#: Either monitor flavour the registry can host.
+AnyMonitor = Union[StreamingRecurrenceMonitor, CalendarRecurrenceMonitor]
+
+
+def monitor_from_state(
+    state: Mapping[str, object], on_interval=None
+) -> AnyMonitor:
+    """Rebuild the right monitor class from a ``state`` payload.
+
+    Dispatches on the payload's ``kind`` tag (``"monitor"`` or
+    ``"calendar-monitor"``); restoration is bit-exact — re-serializing
+    the result yields the identical payload.
+
+    Examples
+    --------
+    >>> monitor = StreamingRecurrenceMonitor(per=2, min_ps=2)
+    >>> monitor.observe(1, ["a"])
+    >>> clone = monitor_from_state(monitor.state_dict())
+    >>> clone.state_dict() == monitor.state_dict()
+    True
+    """
+    kind = state.get("kind")
+    if kind == "monitor":
+        return StreamingRecurrenceMonitor.from_state(
+            state, on_interval=on_interval
+        )
+    if kind == "calendar-monitor":
+        return CalendarRecurrenceMonitor.from_state(
+            state, on_interval=on_interval
+        )
+    raise DataFormatError(
+        f"unknown monitor state kind {kind!r} (expected 'monitor' or "
+        f"'calendar-monitor')"
+    )
+
+
+def write_checkpoint(
+    target,
+    *,
+    shards: int,
+    params: Mapping[str, object],
+    states: Iterable[Tuple[object, int, Mapping[str, object]]],
+    lru: Iterable[object] = (),
+    watched: Iterable[Tuple[object, Iterable[object]]] = (),
+) -> int:
+    """Write one ``repro-stream/v1`` checkpoint; return bytes written.
+
+    Parameters
+    ----------
+    target:
+        A path or text handle (anything ``TraceWriter`` accepts).
+    shards, params:
+        Registry configuration for the header record.
+    states:
+        ``(stream_key, shard, state_dict)`` triples.  They are sorted
+        by ``(shard, encoded key)`` before writing, so the byte output
+        is independent of dict iteration order.
+    lru:
+        The *active* stream keys in least-recently-observed-first
+        order.  Restore re-materializes exactly these, in this order,
+        so the active set, the eviction order and the header census
+        all survive the round trip — without this, a restored registry
+        would checkpoint different bytes than the original.
+    watched:
+        Registry-level ``(label, itemset)`` composite watches.  These
+        must ride in the header because they apply to streams that do
+        not exist yet — a monitor created *after* restore must watch
+        the same composites a pre-checkpoint one would have.
+    """
+    lru_keys = list(lru)
+    rows = sorted(
+        (
+            (shard, json.dumps(encode_item(key), sort_keys=True), key, state)
+            for key, shard, state in states
+        ),
+        key=lambda row: (row[0], row[1]),
+    )
+    watch_rows = sorted(
+        (
+            (
+                encode_item(label),
+                [
+                    encode_item(i)
+                    for i in sorted(items, key=item_sort_key)
+                ],
+            )
+            for label, items in watched
+        ),
+        key=lambda row: json.dumps(row[0], sort_keys=True),
+    )
+    header = {
+        "schema": STREAM_SCHEMA,
+        "kind": "stream-checkpoint",
+        "shards": shards,
+        "params": dict(params),
+        "streams": len(rows),
+        "active": len(lru_keys),
+        "evicted": len(rows) - len(lru_keys),
+        "lru": [encode_item(key) for key in lru_keys],
+        "watched": [list(row) for row in watch_rows],
+    }
+    validate_stream_record(header)
+    written = 0
+    with TraceWriter(target) as writer:
+        writer.write_record(header)
+        written += len(json.dumps(header, sort_keys=False)) + 1
+        for shard, _, key, state in rows:
+            record = {
+                "schema": STREAM_SCHEMA,
+                "kind": "stream-state",
+                "stream": encode_item(key),
+                "shard": shard,
+                "state": dict(state),
+            }
+            validate_stream_record(record)
+            writer.write_record(record)
+            written += len(json.dumps(record, sort_keys=False)) + 1
+    return written
+
+
+def read_checkpoint(
+    source,
+) -> Tuple[Dict[str, object], List[Tuple[object, int, Dict[str, object]]]]:
+    """Read and validate a ``repro-stream/v1`` checkpoint.
+
+    Returns the header record and the ``(stream_key, shard,
+    state_dict)`` triples, in file order.  Raises
+    :class:`~repro.exceptions.DataFormatError` on a missing or
+    malformed header and ``ValueError`` on any invalid record.
+    """
+    header: Optional[Dict[str, object]] = None
+    states: List[Tuple[object, int, Dict[str, object]]] = []
+    for record in iter_trace(source):
+        if record.get("schema") != STREAM_SCHEMA:
+            continue
+        validate_stream_record(record)
+        if record["kind"] == "stream-checkpoint":
+            if header is not None:
+                raise DataFormatError(
+                    "checkpoint contains more than one header record"
+                )
+            header = record
+        else:
+            states.append(
+                (decode_item(record["stream"]), record["shard"],
+                 record["state"])
+            )
+    if header is None:
+        raise DataFormatError(
+            "not a repro-stream/v1 checkpoint: no stream-checkpoint "
+            "header record found"
+        )
+    if len(states) != header["streams"]:
+        raise DataFormatError(
+            f"checkpoint header promises {header['streams']} streams, "
+            f"found {len(states)}"
+        )
+    return header, states

@@ -1,0 +1,501 @@
+"""Online monitoring of recurring behaviour over an unbounded stream.
+
+The batch miners need the whole database; operational settings (the
+paper's network-administration motivation) want to watch a live event
+stream and know, *as events arrive*, which items are inside a periodic
+stretch, which stretches have become interesting, and which items have
+reached the recurrence threshold.
+
+:class:`StreamingRecurrenceMonitor` maintains, per item, exactly the
+state of the paper's Algorithm 1 / Algorithm 5 — the timestamp of the
+last occurrence, the periodic-support of the open run, the closed
+interesting intervals and the streaming ``Erec`` — in O(1) per event.
+Feeding a whole database through the monitor reproduces the batch
+RP-list and per-item recurrence bit-for-bit (tested), which is the
+incremental-maintenance property: appending new transactions never
+requires a rescan.
+
+Two properties matter for the multi-tenant registry built on top
+(:mod:`repro.streaming.registry`):
+
+* **Batch-equal timestamp merging.**  A batch
+  :class:`~repro.timeseries.database.TransactionalDatabase` merges
+  transactions that share a timestamp into one set-valued transaction.
+  The monitor does the same: observing the same timestamp twice merges
+  the itemsets instead of raising, so streamed state equals the batch
+  RP-list even on inputs with split same-timestamp rows.  Only a
+  timestamp *decrease* is an error.
+* **Exact serialization.**  :meth:`StreamingRecurrenceMonitor.state_dict`
+  captures the complete monitor state — including the open-run
+  counters and the same-timestamp merge buffer — as a deterministic
+  JSON-compatible dict, and
+  :meth:`StreamingRecurrenceMonitor.from_state` restores it
+  bit-identically.  This is what makes eviction/re-admission and
+  checkpoint/restore lossless.
+
+The monitor tracks *items*; to watch a specific itemset, register it as
+a composite via :meth:`watch_pattern` — the monitor then treats a
+transaction containing the whole itemset as one occurrence of the
+composite.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro._validation import Number, check_count, check_positive
+from repro.core.model import PeriodicInterval
+from repro.exceptions import DataFormatError
+from repro.obs.counters import MiningStats
+from repro.obs.spans import span
+from repro.timeseries.database import TransactionalDatabase
+from repro.timeseries.events import Item
+
+__all__ = [
+    "ItemState",
+    "StreamingRecurrenceMonitor",
+    "decode_item",
+    "encode_item",
+    "item_sort_key",
+]
+
+IntervalCallback = Callable[[Item, PeriodicInterval], None]
+
+
+# ----------------------------------------------------------------------
+# Item codec (shared with the checkpoint layer)
+# ----------------------------------------------------------------------
+def encode_item(item: Item) -> object:
+    """A JSON-compatible, deterministic encoding of an item.
+
+    Scalars (``str``/``int``/``float``/``bool``) pass through —
+    JSON preserves their type — and composite labels (``frozenset`` /
+    ``tuple`` of scalars) become tagged one-key dicts.  Anything else
+    is a :class:`~repro.exceptions.DataFormatError`: checkpoints must
+    round-trip exactly, so no lossy fallback exists.
+
+    Examples
+    --------
+    >>> encode_item("a")
+    'a'
+    >>> encode_item(frozenset(["b", "a"]))
+    {'frozenset': ['a', 'b']}
+    """
+    if isinstance(item, (str, int, float, bool)):
+        return item
+    if isinstance(item, frozenset):
+        return {
+            "frozenset": [
+                encode_item(i) for i in sorted(item, key=item_sort_key)
+            ]
+        }
+    if isinstance(item, tuple):
+        return {"tuple": [encode_item(i) for i in item]}
+    raise DataFormatError(
+        f"cannot serialize stream item of type {type(item).__name__}: "
+        f"{item!r} (supported: str, int, float, bool, frozenset, tuple)"
+    )
+
+
+def decode_item(encoded: object) -> Item:
+    """Invert :func:`encode_item`.
+
+    Examples
+    --------
+    >>> decode_item({'frozenset': ['a', 'b']}) == frozenset(['a', 'b'])
+    True
+    """
+    if isinstance(encoded, dict):
+        if set(encoded) == {"frozenset"}:
+            return frozenset(decode_item(i) for i in encoded["frozenset"])
+        if set(encoded) == {"tuple"}:
+            return tuple(decode_item(i) for i in encoded["tuple"])
+        raise DataFormatError(f"unrecognised encoded item: {encoded!r}")
+    if isinstance(encoded, list):
+        raise DataFormatError(f"unrecognised encoded item: {encoded!r}")
+    return encoded
+
+
+def item_sort_key(item: Item) -> str:
+    """A deterministic sort key for mixed item types.
+
+    ``repr`` is unstable for ``frozenset`` (iteration order is
+    hash-seed dependent), so ordering in serialized state uses the
+    canonical JSON of the *encoded* item instead — identical across
+    processes and hash seeds, which is what makes checkpoints
+    byte-reproducible.
+    """
+    return json.dumps(encode_item(item), sort_keys=True)
+
+
+@dataclass
+class ItemState:
+    """Streaming per-item state (the paper's idl/ps/erec trio, plus the
+    closed interesting intervals)."""
+
+    support: int = 0
+    erec: int = 0
+    last_ts: float = 0.0
+    run_start: float = 0.0
+    current_ps: int = 0
+    intervals: List[PeriodicInterval] = field(default_factory=list)
+
+    @property
+    def recurrence(self) -> int:
+        """Interesting intervals closed so far (open run excluded)."""
+        return len(self.intervals)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible snapshot (see ``repro-stream/v1``)."""
+        return {
+            "support": self.support,
+            "erec": self.erec,
+            "last_ts": self.last_ts,
+            "run_start": self.run_start,
+            "current_ps": self.current_ps,
+            "intervals": [
+                [iv.start, iv.end, iv.periodic_support]
+                for iv in self.intervals
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ItemState":
+        """Rebuild an exact :class:`ItemState` from :meth:`to_dict`."""
+        return cls(
+            support=payload["support"],
+            erec=payload["erec"],
+            last_ts=payload["last_ts"],
+            run_start=payload["run_start"],
+            current_ps=payload["current_ps"],
+            intervals=[
+                PeriodicInterval(start, end, ps)
+                for start, end, ps in payload["intervals"]
+            ],
+        )
+
+
+class StreamingRecurrenceMonitor:
+    """Watch an event stream for recurring items and itemsets.
+
+    Parameters
+    ----------
+    per, min_ps, min_rec:
+        Model thresholds; ``min_ps`` must be an absolute count here (a
+        stream has no fixed size to take a fraction of).
+    on_interval:
+        Optional callback fired whenever an interesting interval
+        *closes* (the run breaks after reaching ``min_ps``).
+
+    Examples
+    --------
+    >>> monitor = StreamingRecurrenceMonitor(per=2, min_ps=3, min_rec=2)
+    >>> for ts in [1, 3, 4]:
+    ...     monitor.observe(ts, ["a"])
+    >>> monitor.observe(10, ["a"])   # run breaks: [1, 4] closes
+    >>> monitor.recurrence("a")
+    1
+    """
+
+    def __init__(
+        self,
+        per: Number,
+        min_ps: int,
+        min_rec: int = 1,
+        on_interval: Optional[IntervalCallback] = None,
+    ):
+        check_positive(per, "per")
+        check_count(min_ps, "min_ps")
+        check_count(min_rec, "min_rec")
+        self.per = per
+        self.min_ps = min_ps
+        self.min_rec = min_rec
+        self.on_interval = on_interval
+        self._states: Dict[Item, ItemState] = {}
+        self._patterns: Dict[Item, FrozenSet[Item]] = {}
+        self._last_ts: Optional[float] = None
+        #: Items observed at ``_last_ts`` so far — the same-timestamp
+        #: merge buffer mirroring the batch TDB's group-by-timestamp.
+        self._current_items: FrozenSet[Item] = frozenset()
+        #: Shared counters (:mod:`repro.obs.counters`), mapped to the
+        #: streaming setting: ``candidate_items`` = distinct tracked
+        #: items/composites, ``erec_evaluations`` = run closures (each
+        #: updates the streaming Erec), ``recurrence_evaluations`` =
+        #: interesting intervals closed, ``patterns_found`` = items
+        #: that have crossed ``min_rec``.
+        self.stats = MiningStats()
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def watch_pattern(self, items: Iterable[Item], label: Item) -> None:
+        """Track the itemset ``items`` as the composite item ``label``.
+
+        Must be registered before the relevant events arrive; a
+        transaction containing every item of the set counts as one
+        occurrence of ``label``.
+        """
+        itemset = frozenset(items)
+        if not itemset:
+            raise ValueError("a watched pattern needs at least one item")
+        self._patterns[label] = itemset
+
+    def observe(self, ts: float, items: Iterable[Item]) -> None:
+        """Feed one transaction.  Timestamps must be non-decreasing.
+
+        Observing the *same* timestamp again merges the itemsets —
+        exactly what the batch ``TransactionalDatabase`` constructor
+        does with same-timestamp rows — so split transactions stream
+        to the same state the batch miner sees.  A timestamp decrease
+        raises ``ValueError``.
+        """
+        if self._last_ts is not None and ts < self._last_ts:
+            raise ValueError(
+                f"timestamps must be non-decreasing; got {ts!r} after "
+                f"{self._last_ts!r}"
+            )
+        itemset = frozenset(items)
+        if self._last_ts is not None and ts == self._last_ts:
+            self._merge_current(ts, itemset)
+            return
+        self._last_ts = ts
+        self._current_items = itemset
+        for item in itemset:
+            self._touch(item, ts)
+        for label, pattern in self._patterns.items():
+            if pattern <= itemset:
+                self._touch(label, ts)
+
+    def _merge_current(self, ts: float, itemset: FrozenSet[Item]) -> None:
+        """Fold a repeated-timestamp transaction into the open one.
+
+        Items (and composites) already counted at ``ts`` are not
+        touched again — a transaction is a *set*, so multiplicity
+        within one timestamp is invisible (paper Section 3).
+        """
+        union = self._current_items | itemset
+        for item in itemset - self._current_items:
+            self._touch(item, ts)
+        for label, pattern in self._patterns.items():
+            if pattern <= union and not pattern <= self._current_items:
+                self._touch(label, ts)
+        self._current_items = union
+
+    def observe_database(self, database: TransactionalDatabase) -> None:
+        """Feed a whole (timestamp-ordered) database."""
+        with span("stream_replay"):
+            for ts, itemset in database:
+                self.observe(ts, itemset)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def state(self, item: Item) -> ItemState:
+        """The streaming state of ``item`` (KeyError if never seen)."""
+        return self._states[item]
+
+    def recurrence(self, item: Item, include_open_run: bool = False) -> int:
+        """Closed interesting intervals of ``item`` so far.
+
+        With ``include_open_run`` the still-open run is counted too,
+        provided it has already reached ``min_ps``.
+        """
+        state = self._states.get(item)
+        if state is None:
+            return 0
+        count = state.recurrence
+        if include_open_run and state.current_ps >= self.min_ps:
+            count += 1
+        return count
+
+    def is_recurring(self, item: Item) -> bool:
+        """Has ``item`` reached ``min_rec`` interesting intervals yet?"""
+        return self.recurrence(item, include_open_run=True) >= self.min_rec
+
+    def recurring_items(self) -> List[Item]:
+        """All seen items/composites currently classified recurring."""
+        return sorted(
+            (item for item in self._states if self.is_recurring(item)),
+            key=repr,
+        )
+
+    def intervals(self, item: Item, include_open_run: bool = False) -> Tuple[
+        PeriodicInterval, ...
+    ]:
+        """Interesting intervals of ``item``, oldest first."""
+        state = self._states.get(item)
+        if state is None:
+            return ()
+        result = list(state.intervals)
+        if include_open_run and state.current_ps >= self.min_ps:
+            result.append(
+                PeriodicInterval(state.run_start, state.last_ts, state.current_ps)
+            )
+        return tuple(result)
+
+    def erec(self, item: Item, include_open_run: bool = True) -> int:
+        """Streaming estimated-maximum-recurrence of ``item``.
+
+        With ``include_open_run`` (the default) the open run's
+        contribution is included, matching line 15 of Algorithm 1.
+        """
+        state = self._states.get(item)
+        if state is None:
+            return 0
+        value = state.erec
+        if include_open_run:
+            value += state.current_ps // self.min_ps
+        return value
+
+    def support(self, item: Item) -> int:
+        """Occurrences of ``item`` seen so far (0 if never seen)."""
+        state = self._states.get(item)
+        return 0 if state is None else state.support
+
+    # ------------------------------------------------------------------
+    # Serialization (eviction spill + repro-stream/v1 checkpoints)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """The complete monitor state as a deterministic, JSON-ready dict.
+
+        Entries are sorted by :func:`item_sort_key`, so two monitors in
+        identical logical state serialize to identical bytes regardless
+        of insertion or hash order — the property the checkpoint
+        byte-identity guarantee rests on.
+        """
+        return {
+            "kind": "monitor",
+            "per": self.per,
+            "min_ps": self.min_ps,
+            "min_rec": self.min_rec,
+            "last_ts": self._last_ts,
+            "current_items": [
+                encode_item(i)
+                for i in sorted(self._current_items, key=item_sort_key)
+            ],
+            "states": [
+                [encode_item(item), self._states[item].to_dict()]
+                for item in sorted(self._states, key=item_sort_key)
+            ],
+            "patterns": [
+                [
+                    encode_item(label),
+                    [
+                        encode_item(i)
+                        for i in sorted(
+                            self._patterns[label], key=item_sort_key
+                        )
+                    ],
+                ]
+                for label in sorted(self._patterns, key=item_sort_key)
+            ],
+            "stats": self.stats.as_dict(),
+        }
+
+    def load_state(self, payload: Mapping[str, object]) -> None:
+        """Replace this monitor's state with a :meth:`state_dict` snapshot.
+
+        Thresholds in the snapshot must match this monitor's — a
+        checkpoint taken at one ``per`` cannot silently resume at
+        another.
+        """
+        if payload.get("kind") != "monitor":
+            raise DataFormatError(
+                f"expected a monitor state dict, got kind="
+                f"{payload.get('kind')!r}"
+            )
+        for name in ("per", "min_ps", "min_rec"):
+            if payload[name] != getattr(self, name):
+                raise DataFormatError(
+                    f"state {name}={payload[name]!r} does not match "
+                    f"monitor {name}={getattr(self, name)!r}"
+                )
+        self._last_ts = payload["last_ts"]
+        self._current_items = frozenset(
+            decode_item(i) for i in payload["current_items"]
+        )
+        self._states = {
+            decode_item(encoded): ItemState.from_dict(state)
+            for encoded, state in payload["states"]
+        }
+        self._patterns = {
+            decode_item(encoded): frozenset(decode_item(i) for i in items)
+            for encoded, items in payload["patterns"]
+        }
+        self.stats = MiningStats(**payload["stats"])
+
+    @classmethod
+    def from_state(
+        cls,
+        payload: Mapping[str, object],
+        on_interval: Optional[IntervalCallback] = None,
+    ) -> "StreamingRecurrenceMonitor":
+        """Rebuild a monitor bit-identically from :meth:`state_dict`.
+
+        Examples
+        --------
+        >>> monitor = StreamingRecurrenceMonitor(per=2, min_ps=2)
+        >>> monitor.observe(1, ["a"]); monitor.observe(2, ["a"])
+        >>> clone = StreamingRecurrenceMonitor.from_state(monitor.state_dict())
+        >>> clone.state_dict() == monitor.state_dict()
+        True
+        """
+        if payload.get("kind") != "monitor":
+            raise DataFormatError(
+                f"expected a monitor state dict, got kind="
+                f"{payload.get('kind')!r}"
+            )
+        monitor = cls(
+            per=payload["per"],
+            min_ps=payload["min_ps"],
+            min_rec=payload["min_rec"],
+            on_interval=on_interval,
+        )
+        monitor.load_state(payload)
+        return monitor
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _touch(self, item: Item, ts: float) -> None:
+        state = self._states.get(item)
+        if state is None:
+            state = ItemState()
+            self._states[item] = state
+            self.stats.candidate_items += 1
+        if state.support == 0:
+            state.run_start = ts
+            state.current_ps = 1
+        elif ts - state.last_ts <= self.per:
+            state.current_ps += 1
+        else:
+            self._close_run(item, state)
+            state.run_start = ts
+            state.current_ps = 1
+        state.support += 1
+        state.last_ts = ts
+
+    def _close_run(self, item: Item, state: ItemState) -> None:
+        state.erec += state.current_ps // self.min_ps
+        self.stats.erec_evaluations += 1
+        if state.current_ps >= self.min_ps:
+            interval = PeriodicInterval(
+                state.run_start, state.last_ts, state.current_ps
+            )
+            state.intervals.append(interval)
+            self.stats.recurrence_evaluations += 1
+            if len(state.intervals) == self.min_rec:
+                self.stats.patterns_found += 1
+            if self.on_interval is not None:
+                self.on_interval(item, interval)

@@ -1,0 +1,436 @@
+"""Sharded multi-tenant streaming recurrence.
+
+One :class:`~repro.streaming.monitor.StreamingRecurrenceMonitor` per
+tenant does not scale to the ROADMAP's "millions of independent user
+streams" by itself — a service needs O(1) routing of an event to its
+stream's monitor, a bounded active set under memory pressure, and a
+restart story.  :class:`ShardedMonitorRegistry` supplies all three:
+
+* **Hash partitioning.**  Stream keys are routed to one of N shards by
+  a *stable* hash (``zlib.crc32`` of the key's canonical encoding —
+  never the salted builtin ``hash``), so placement is identical across
+  processes, restarts and checkpoint/restore, and a registry restored
+  at a different shard count re-derives every placement from the key
+  alone.
+* **Idle-stream eviction with exact re-admission.**  With
+  ``max_active`` set, the least-recently-*observed* stream is evicted
+  when the cap is exceeded — but its state is spilled (serialized via
+  ``state_dict``), not dropped.  A returning stream is re-admitted
+  from the spill bit-identically, open-run counters included, so
+  eviction is observationally invisible (tested, and pinned by the QA
+  gate's streamed≡batch relation which runs under eviction pressure).
+  Recency means *arrival order at the registry*: per-stream clocks are
+  independent, so their timestamps are not comparable across streams.
+* **Checkpoint/restore.**  :meth:`ShardedMonitorRegistry.checkpoint`
+  serializes every stream (active and spilled) into a versioned
+  ``repro-stream/v1`` document and
+  :meth:`ShardedMonitorRegistry.restore` rebuilds a registry that
+  resumes byte-identically — the QA gate's checkpoint-resume relation
+  holds the two futures equal.
+
+Observability: with a :class:`~repro.obs.metrics.MetricsRegistry`
+attached, the registry maintains ``repro_stream_*`` gauges and
+counters (active/evicted streams, events, evictions, re-admissions,
+checkpoint bytes), and checkpoint/restore run inside ``span``s.
+
+Examples
+--------
+>>> registry = ShardedMonitorRegistry(per=2, min_ps=3, shards=4)
+>>> for ts in [1, 3, 4]:
+...     registry.observe("alice", ts, ["login"])
+...     registry.observe("bob", ts * 10, ["backup"])
+>>> registry.monitor("alice").recurrence("login", include_open_run=True)
+1
+>>> registry.active_streams
+2
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro._validation import Number, check_count, check_positive
+from repro.exceptions import ParameterError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import span
+from repro.timeseries.events import Item
+
+from repro.streaming.calendar import CalendarPeriod, CalendarRecurrenceMonitor
+from repro.streaming.checkpoint import (
+    AnyMonitor,
+    monitor_from_state,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.streaming.monitor import (
+    StreamingRecurrenceMonitor,
+    decode_item,
+    item_sort_key,
+)
+
+__all__ = ["ShardedMonitorRegistry", "shard_of"]
+
+#: Registry-level interval callback: (stream, item, interval) for plain
+#: monitors, (stream, slot, item, interval) for calendar monitors.
+RegistryIntervalCallback = Callable[..., None]
+
+
+def shard_of(stream: object, shards: int) -> int:
+    """The shard a stream key routes to — stable across processes.
+
+    Built on CRC-32 of the key's canonical JSON encoding, *not* the
+    builtin ``hash``, which is salted per process and would scatter a
+    restored registry's streams differently than the original's.
+
+    Examples
+    --------
+    >>> shard_of("alice", 16) == shard_of("alice", 16)
+    True
+    >>> 0 <= shard_of("bob", 4) < 4
+    True
+    """
+    check_count(shards, "shards")
+    return zlib.crc32(item_sort_key(stream).encode("utf-8")) % shards
+
+
+class ShardedMonitorRegistry:
+    """Track recurrence over many independent streams, sharded.
+
+    Parameters
+    ----------
+    per:
+        Inter-arrival threshold for plain monitors.  Exactly one of
+        ``per`` and ``calendar`` must be given.
+    min_ps, min_rec:
+        Model thresholds (absolute counts — streams are unbounded).
+    shards:
+        Number of hash partitions (fixed for the registry's lifetime;
+        :meth:`restore` may pick a different count).
+    max_active:
+        Optional cap on simultaneously materialized monitors.  When
+        exceeded, the least-recently-observed stream is spilled.
+    calendar:
+        A :class:`~repro.streaming.calendar.CalendarPeriod` for
+        calendar-anchored recurrence instead of a plain ``per``.
+    calendar_per:
+        Tick tolerance for calendar monitors (default 1).
+    on_interval:
+        Optional callback fired when any stream closes an interesting
+        interval: ``(stream, item, interval)`` for plain monitors,
+        ``(stream, slot, item, interval)`` for calendar monitors.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        the ``repro_stream_*`` gauges and counters.
+    """
+
+    def __init__(
+        self,
+        per: Optional[Number] = None,
+        min_ps: int = 1,
+        min_rec: int = 1,
+        *,
+        shards: int = 16,
+        max_active: Optional[int] = None,
+        calendar: Optional[CalendarPeriod] = None,
+        calendar_per: int = 1,
+        on_interval: Optional[RegistryIntervalCallback] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if (per is None) == (calendar is None):
+            raise ParameterError(
+                "exactly one of per= and calendar= must be given"
+            )
+        if per is not None:
+            check_positive(per, "per")
+        check_count(shards, "shards")
+        if max_active is not None:
+            check_count(max_active, "max_active")
+        self.per = per
+        self.min_ps = check_count(min_ps, "min_ps")
+        self.min_rec = check_count(min_rec, "min_rec")
+        self.shards = shards
+        self.max_active = max_active
+        self.calendar = calendar
+        self.calendar_per = check_count(calendar_per, "calendar_per")
+        self.on_interval = on_interval
+        self._metrics = metrics
+        #: Active monitors, per shard.
+        self._active: List[Dict[object, AnyMonitor]] = [
+            {} for _ in range(shards)
+        ]
+        #: Spilled (evicted) state dicts, per shard.
+        self._spilled: List[Dict[object, Dict[str, object]]] = [
+            {} for _ in range(shards)
+        ]
+        #: Global recency order of *active* streams (LRU at the front).
+        self._lru: "OrderedDict[object, None]" = OrderedDict()
+        #: Watched composite patterns, applied to every monitor.
+        self._watched: Dict[Item, frozenset] = {}
+        self._update_gauges()
+
+    # ------------------------------------------------------------------
+    # Routing and feeding
+    # ------------------------------------------------------------------
+    def shard_of(self, stream: object) -> int:
+        """The shard ``stream`` routes to in this registry."""
+        return shard_of(stream, self.shards)
+
+    def watch_pattern(self, items: Iterable[Item], label: Item) -> None:
+        """Watch an itemset as composite ``label`` on *every* stream.
+
+        Applies to already-active monitors immediately and to each
+        later-created or re-admitted monitor at materialization.
+        """
+        itemset = frozenset(items)
+        if not itemset:
+            raise ValueError("a watched pattern needs at least one item")
+        self._watched[label] = itemset
+        for shard in self._active:
+            for monitor in shard.values():
+                monitor.watch_pattern(itemset, label)
+
+    def observe(self, stream: object, ts: float, items: Iterable[Item]) -> None:
+        """Feed one event of ``stream`` — O(1) routing per event.
+
+        Timestamps must be non-decreasing *per stream*; different
+        streams have fully independent clocks.
+        """
+        monitor = self._materialize(stream)
+        monitor.observe(ts, items)
+        self._lru.move_to_end(stream)
+        self._inc("repro_stream_events_total")
+        self._enforce_cap()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def monitor(self, stream: object) -> AnyMonitor:
+        """The (re-admitted if necessary) monitor of ``stream``.
+
+        Raises ``KeyError`` for a stream the registry has never seen.
+        Touching a monitor counts as use for LRU purposes.
+        """
+        shard = self.shard_of(stream)
+        if stream not in self._active[shard] \
+                and stream not in self._spilled[shard]:
+            raise KeyError(f"unknown stream {stream!r}")
+        monitor = self._materialize(stream)
+        self._lru.move_to_end(stream)
+        self._enforce_cap()
+        return monitor
+
+    def streams(self) -> List[object]:
+        """Every known stream key (active and spilled), sorted."""
+        keys: List[object] = []
+        for shard in range(self.shards):
+            keys.extend(self._active[shard])
+            keys.extend(self._spilled[shard])
+        return sorted(keys, key=item_sort_key)
+
+    @property
+    def active_streams(self) -> int:
+        """How many streams currently hold a live monitor."""
+        return sum(len(shard) for shard in self._active)
+
+    @property
+    def evicted_streams(self) -> int:
+        """How many streams are currently spilled."""
+        return sum(len(shard) for shard in self._spilled)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def _params(self) -> Dict[str, object]:
+        """The threshold configuration for the checkpoint header."""
+        params: Dict[str, object] = {
+            "min_ps": self.min_ps,
+            "min_rec": self.min_rec,
+            "max_active": self.max_active,
+        }
+        if self.calendar is not None:
+            params["calendar"] = self.calendar.mode
+            params["calendar_per"] = self.calendar_per
+        else:
+            params["per"] = self.per
+        return params
+
+    def checkpoint(self, target) -> int:
+        """Write a ``repro-stream/v1`` checkpoint; return bytes written.
+
+        Serializes *every* stream — active monitors and spilled state
+        alike — in deterministic order, so two registries in the same
+        logical state write identical bytes.  ``target`` is a path or
+        text handle.  Also updates the
+        ``repro_stream_checkpoint_bytes`` gauge.
+        """
+        with span("stream_checkpoint"):
+            states = []
+            for shard in range(self.shards):
+                for key, monitor in self._active[shard].items():
+                    states.append((key, shard, monitor.state_dict()))
+                for key, state in self._spilled[shard].items():
+                    states.append((key, shard, state))
+            written = write_checkpoint(
+                target,
+                shards=self.shards,
+                params=self._params(),
+                states=states,
+                lru=list(self._lru),
+                watched=sorted(
+                    self._watched.items(),
+                    key=lambda pair: item_sort_key(pair[0]),
+                ),
+            )
+        self._inc("repro_stream_checkpoints_total")
+        self._set("repro_stream_checkpoint_bytes", written)
+        return written
+
+    @classmethod
+    def restore(
+        cls,
+        source,
+        *,
+        shards: Optional[int] = None,
+        max_active: Optional[int] = None,
+        on_interval: Optional[RegistryIntervalCallback] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "ShardedMonitorRegistry":
+        """Rebuild a registry from a checkpoint, losing nothing.
+
+        Spilled streams stay spilled; the checkpoint's active streams
+        are re-materialized in their recorded LRU order, so the
+        restored registry is in the *identical* state — same active
+        set, same eviction order, same monitor internals — and a
+        re-checkpoint writes the identical bytes.  ``shards`` may
+        differ from the checkpointed count — placement is re-derived
+        from the stable key hash, so resharding on restore is safe.
+
+        Examples
+        --------
+        >>> import io
+        >>> registry = ShardedMonitorRegistry(per=2, min_ps=2, shards=4)
+        >>> registry.observe("alice", 1, ["a"])
+        >>> buffer = io.StringIO()
+        >>> _ = registry.checkpoint(buffer)
+        >>> _ = buffer.seek(0)
+        >>> clone = ShardedMonitorRegistry.restore(buffer, shards=2)
+        >>> clone.monitor("alice").support("a")
+        1
+        """
+        with span("stream_restore"):
+            header, states = read_checkpoint(source)
+            params = header["params"]
+            kwargs: Dict[str, object] = {}
+            if "calendar" in params:
+                kwargs["calendar"] = CalendarPeriod(params["calendar"])
+                kwargs["calendar_per"] = params.get("calendar_per", 1)
+            else:
+                kwargs["per"] = params["per"]
+            if max_active is None:
+                max_active = params.get("max_active")
+            registry = cls(
+                min_ps=params["min_ps"],
+                min_rec=params["min_rec"],
+                shards=header["shards"] if shards is None else shards,
+                max_active=max_active,
+                on_interval=on_interval,
+                metrics=metrics,
+                **kwargs,
+            )
+            for label, items in header["watched"]:
+                registry._watched[decode_item(label)] = frozenset(
+                    decode_item(i) for i in items
+                )
+            for key, _, state in states:
+                registry._spilled[registry.shard_of(key)][key] = dict(state)
+            for encoded in header["lru"]:
+                key = decode_item(encoded)
+                shard = registry.shard_of(key)
+                state = registry._spilled[shard].pop(key)
+                registry._active[shard][key] = monitor_from_state(
+                    state, on_interval=registry._stream_callback(key)
+                )
+                registry._lru[key] = None
+            registry._update_gauges()
+        registry._inc("repro_stream_restores_total")
+        return registry
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _new_monitor(self, stream: object) -> AnyMonitor:
+        """A fresh monitor configured like every other in the registry."""
+        monitor: AnyMonitor
+        if self.calendar is not None:
+            monitor = CalendarRecurrenceMonitor(
+                self.calendar,
+                min_ps=self.min_ps,
+                min_rec=self.min_rec,
+                per=self.calendar_per,
+                on_interval=self._stream_callback(stream),
+            )
+        else:
+            monitor = StreamingRecurrenceMonitor(
+                per=self.per,
+                min_ps=self.min_ps,
+                min_rec=self.min_rec,
+                on_interval=self._stream_callback(stream),
+            )
+        return monitor
+
+    def _stream_callback(self, stream: object):
+        """Bridge a monitor's interval callback to the registry's."""
+        if self.on_interval is None:
+            return None
+
+        def fire(*parts):
+            self.on_interval(stream, *parts)
+
+        return fire
+
+    def _materialize(self, stream: object) -> AnyMonitor:
+        """The live monitor of ``stream``, re-admitting or creating it."""
+        shard = self.shard_of(stream)
+        monitor = self._active[shard].get(stream)
+        if monitor is not None:
+            return monitor
+        spilled = self._spilled[shard].pop(stream, None)
+        if spilled is not None:
+            monitor = monitor_from_state(
+                spilled, on_interval=self._stream_callback(stream)
+            )
+            self._inc("repro_stream_readmissions_total")
+        else:
+            monitor = self._new_monitor(stream)
+            for label, pattern in self._watched.items():
+                monitor.watch_pattern(pattern, label)
+        self._active[shard][stream] = monitor
+        self._lru[stream] = None
+        self._update_gauges()
+        return monitor
+
+    def _enforce_cap(self) -> None:
+        """Spill least-recently-observed streams past ``max_active``."""
+        if self.max_active is None:
+            return
+        while len(self._lru) > self.max_active:
+            victim, _ = self._lru.popitem(last=False)
+            shard = self.shard_of(victim)
+            monitor = self._active[shard].pop(victim)
+            self._spilled[shard][victim] = monitor.state_dict()
+            self._inc("repro_stream_evictions_total")
+        self._update_gauges()
+
+    def _inc(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc()
+
+    def _set(self, name: str, value: Number) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge(name).set(value)
+
+    def _update_gauges(self) -> None:
+        self._set("repro_stream_active_streams", self.active_streams)
+        self._set("repro_stream_evicted_streams", self.evicted_streams)

@@ -21,11 +21,20 @@ RELAXED = settings(
 
 
 class TestObserve:
-    def test_rejects_non_increasing_timestamps(self):
+    def test_rejects_decreasing_timestamps(self):
         monitor = StreamingRecurrenceMonitor(per=1, min_ps=1)
         monitor.observe(5, "a")
         with pytest.raises(ValueError):
-            monitor.observe(5, "b")
+            monitor.observe(4, "b")
+
+    def test_repeated_timestamp_merges_like_batch(self):
+        # Same-timestamp rows merge into one set-valued transaction,
+        # exactly as the batch TransactionalDatabase constructor does.
+        monitor = StreamingRecurrenceMonitor(per=1, min_ps=1)
+        monitor.observe(5, "a")
+        monitor.observe(5, "ab")
+        assert monitor.support("a") == 1
+        assert monitor.support("b") == 1
 
     def test_unseen_item_defaults(self):
         monitor = StreamingRecurrenceMonitor(per=1, min_ps=1)

@@ -37,13 +37,15 @@ def _normalized(rows):
 # ----------------------------------------------------------------------
 # Registry shape
 # ----------------------------------------------------------------------
-def test_registry_holds_the_five_issue_relations():
+def test_registry_holds_the_seven_relations():
     assert [r.name for r in RELATIONS] == [
         "time-shift",
         "item-relabel",
         "time-scale",
         "concat-disjoint",
         "event-duplication",
+        "stream-batch",
+        "stream-checkpoint-resume",
     ]
     for relation in RELATIONS:
         assert relation.description and relation.paper_basis
@@ -85,7 +87,7 @@ def test_relations_hold_on_random_corpus_serial():
     assert result.passed, "\n\n".join(
         v.describe() for v in result.violations
     )
-    assert result.cases_checked == 5 * len(ENGINES) * 3
+    assert result.cases_checked == len(RELATIONS) * len(ENGINES) * 3
 
 
 # ----------------------------------------------------------------------
@@ -197,4 +199,4 @@ def test_run_relations_deadline_still_covers_every_cell():
     )
     assert result.passed
     assert all(check.cases == 1 for check in result.checks)
-    assert len(result.checks) == 5 * len(ENGINES)
+    assert len(result.checks) == len(RELATIONS) * len(ENGINES)

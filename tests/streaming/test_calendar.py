@@ -1,0 +1,158 @@
+"""Calendar-anchored recurrence: slot/tick math, batch ≡ streaming."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.streaming import (
+    CALENDAR_MODES,
+    CalendarPeriod,
+    CalendarRecurrenceMonitor,
+    mine_calendar_patterns,
+)
+from repro.timeseries.database import TransactionalDatabase
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+MINUTE_9AM = 9 * 60
+DAY = 1440
+
+
+class TestCalendarPeriod:
+    def test_hour_of_day_slot_and_tick(self):
+        cal = CalendarPeriod("hour-of-day")
+        assert cal.slots == 24
+        assert cal.slot(2 * DAY + MINUTE_9AM + 30) == 9
+        assert cal.tick(2 * DAY + MINUTE_9AM + 30) == 2
+        assert cal.label(9) == "09h"
+
+    def test_day_of_week_slot_and_tick(self):
+        cal = CalendarPeriod("day-of-week")
+        assert cal.slots == 7
+        assert cal.slot(9 * DAY) == 2  # day 9 = week 1, weekday 2
+        assert cal.tick(9 * DAY) == 1
+        assert cal.label(0) == "Mon"
+        assert cal.label(6) == "Sun"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ParameterError, match="calendar mode"):
+            CalendarPeriod("phase-of-moon")
+
+    def test_label_range_checked(self):
+        with pytest.raises(ParameterError, match="slot"):
+            CalendarPeriod("day-of-week").label(7)
+
+    def test_project_groups_same_slot_same_tick(self):
+        cal = CalendarPeriod("hour-of-day")
+        db = TransactionalDatabase([
+            (MINUTE_9AM, ["a"]),
+            (MINUTE_9AM + 10, ["b"]),  # same 9am hour, same day: merge
+            (DAY + MINUTE_9AM, ["a"]),
+            (14 * 60, ["c"]),
+        ])
+        by_slot = cal.project(db)
+        assert sorted(by_slot) == [9, 14]
+        assert [
+            (ts, tuple(sorted(items))) for ts, items in by_slot[9]
+        ] == [(0, ("a", "b")), (1, ("a",))]
+
+
+class TestBatchStreamingAgreement:
+    def _database(self, mode):
+        # "login" every morning for 4 days, "scan" Mondays only, noise
+        # in other slots.
+        rows = []
+        for day in range(4):
+            rows.append((day * DAY + MINUTE_9AM, ["login"]))
+            rows.append((day * DAY + 11 * 60, ["noise"]))
+        for week in range(3):
+            rows.append((week * 7 * DAY + 10 * 60, ["scan"]))
+        return TransactionalDatabase(rows)
+
+    @pytest.mark.parametrize("mode", CALENDAR_MODES)
+    def test_streamed_slots_match_mined_slots(self, mode):
+        cal = CalendarPeriod(mode)
+        db = self._database(mode)
+        mined = mine_calendar_patterns(db, cal, min_ps=3, min_rec=1)
+        monitor = CalendarRecurrenceMonitor(cal, min_ps=3, min_rec=1)
+        monitor.observe_database(db)
+        streamed = {}
+        for slot, item in monitor.recurring_items():
+            streamed.setdefault(slot, set()).add(frozenset([item]))
+        assert streamed == {
+            slot: {p.items for p in patterns}
+            for slot, patterns in mined.items()
+        }
+
+    @RELAXED
+    @given(
+        days=st.lists(
+            st.integers(min_value=0, max_value=20),
+            min_size=0, max_size=15, unique=True,
+        ),
+        minute=st.integers(min_value=0, max_value=1439),
+        min_ps=st.integers(min_value=1, max_value=4),
+    )
+    def test_random_single_item_agreement(self, days, minute, min_ps):
+        # One item dropped into the same minute-of-day on random days:
+        # streaming recurrence per slot equals batch mining per slot.
+        cal = CalendarPeriod("hour-of-day")
+        rows = [(day * DAY + minute, ["x"]) for day in sorted(days)]
+        db = TransactionalDatabase(rows)
+        mined = mine_calendar_patterns(db, cal, min_ps=min_ps)
+        monitor = CalendarRecurrenceMonitor(cal, min_ps=min_ps)
+        monitor.observe_database(db)
+        slot = minute // 60
+        streamed_recurring = monitor.is_recurring("x", slot)
+        assert streamed_recurring == (slot in mined)
+        if rows:
+            assert monitor.support("x", slot) == len(days)
+
+    def test_same_tick_events_merge_like_the_projection(self):
+        cal = CalendarPeriod("hour-of-day")
+        monitor = CalendarRecurrenceMonitor(cal, min_ps=2)
+        monitor.observe(MINUTE_9AM, ["login"])
+        monitor.observe(MINUTE_9AM + 30, ["login"])  # same day, same hour
+        assert monitor.support("login", 9) == 1
+
+    def test_watch_pattern_reaches_existing_and_future_slots(self):
+        cal = CalendarPeriod("hour-of-day")
+        monitor = CalendarRecurrenceMonitor(cal, min_ps=1)
+        monitor.observe(MINUTE_9AM, "ab")
+        monitor.watch_pattern("ab", label="A+B")
+        monitor.observe(DAY + MINUTE_9AM, "ab")  # existing slot 9
+        monitor.observe(DAY + 14 * 60, "ab")  # brand-new slot 14
+        assert monitor.support("A+B", 9) == 1  # registered after day 0
+        assert monitor.support("A+B", 14) == 1
+
+    def test_state_round_trip_is_bit_identical(self):
+        cal = CalendarPeriod("day-of-week")
+        monitor = CalendarRecurrenceMonitor(cal, min_ps=2)
+        monitor.watch_pattern("ab", label="A+B")
+        for week in range(3):
+            monitor.observe(week * 7 * DAY, "ab")
+        clone = CalendarRecurrenceMonitor.from_state(monitor.state_dict())
+        assert clone.state_dict() == monitor.state_dict()
+        monitor.observe(3 * 7 * DAY, "ab")
+        clone.observe(3 * 7 * DAY, "ab")
+        assert clone.state_dict() == monitor.state_dict()
+
+    def test_interval_callback_carries_the_slot(self):
+        closed = []
+        cal = CalendarPeriod("hour-of-day")
+        monitor = CalendarRecurrenceMonitor(
+            cal,
+            min_ps=2,
+            on_interval=lambda slot, item, iv: closed.append(
+                (slot, item, iv.start, iv.end)
+            ),
+        )
+        for day in range(2):
+            monitor.observe(day * DAY + MINUTE_9AM, ["login"])
+        monitor.observe(10 * DAY + MINUTE_9AM, ["login"])  # gap: closes
+        assert closed == [(9, "login", 0, 1)]

@@ -1,0 +1,195 @@
+"""Checkpoint/restore: byte identity, resharding, validation, goldens.
+
+The central guarantee — also enforced as the ``stream-checkpoint-
+resume`` QA relation — is that ``checkpoint → restore → resume`` is
+indistinguishable from never stopping: the restored registry holds the
+identical state (same active set, same LRU order, same monitor
+internals) and re-checkpoints to the *identical bytes*.
+
+The committed golden checkpoint under ``tests/qa/golden/`` pins the
+``repro-stream/v1`` byte format itself: refresh it with
+``pytest tests/streaming --update-golden`` after an intentional format
+change (and say so in the changelog — old checkpoints stop resuming).
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.datasets import paper_running_example
+from repro.exceptions import DataFormatError
+from repro.obs.report import validate_stream_record
+from repro.streaming import (
+    CalendarPeriod,
+    ShardedMonitorRegistry,
+    read_checkpoint,
+    shard_of,
+)
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "qa", "golden", "stream-checkpoint.jsonl",
+)
+
+
+def _example_registry(shards=4, max_active=2):
+    """A deterministic multi-tenant registry over the running example."""
+    registry = ShardedMonitorRegistry(
+        per=2, min_ps=3, min_rec=2, shards=shards, max_active=max_active
+    )
+    registry.watch_pattern("ab", label=frozenset("ab"))
+    for n, (ts, itemset) in enumerate(paper_running_example()):
+        registry.observe(f"tenant-{n % 3}", ts, itemset)
+    return registry
+
+
+def _checkpoint_bytes(registry):
+    buffer = io.StringIO()
+    written = registry.checkpoint(buffer)
+    return buffer.getvalue(), written
+
+
+class TestByteIdentity:
+    def test_reported_bytes_match_actual_output(self):
+        text, written = _checkpoint_bytes(_example_registry())
+        assert written == len(text.encode("utf-8"))
+
+    def test_checkpoint_is_deterministic(self):
+        first, _ = _checkpoint_bytes(_example_registry())
+        second, _ = _checkpoint_bytes(_example_registry())
+        assert first == second
+
+    def test_restore_then_checkpoint_is_byte_identical(self):
+        original, _ = _checkpoint_bytes(_example_registry())
+        restored = ShardedMonitorRegistry.restore(io.StringIO(original))
+        again, _ = _checkpoint_bytes(restored)
+        assert again == original
+
+    def test_resume_equals_uninterrupted(self):
+        rows = list(paper_running_example())
+        cut = len(rows) // 2
+        full = ShardedMonitorRegistry(per=2, min_ps=3, max_active=2)
+        half = ShardedMonitorRegistry(per=2, min_ps=3, max_active=2)
+        for n, (ts, itemset) in enumerate(rows):
+            full.observe(f"tenant-{n % 3}", ts, itemset)
+            if n < cut:
+                half.observe(f"tenant-{n % 3}", ts, itemset)
+        middle, _ = _checkpoint_bytes(half)
+        resumed = ShardedMonitorRegistry.restore(io.StringIO(middle))
+        for n, (ts, itemset) in enumerate(rows):
+            if n >= cut:
+                resumed.observe(f"tenant-{n % 3}", ts, itemset)
+        assert _checkpoint_bytes(resumed)[0] == _checkpoint_bytes(full)[0]
+
+
+class TestResharding:
+    @pytest.mark.parametrize("new_shards", (1, 3, 16))
+    def test_restore_at_a_different_shard_count(self, new_shards):
+        registry = _example_registry(shards=4)
+        text, _ = _checkpoint_bytes(registry)
+        restored = ShardedMonitorRegistry.restore(
+            io.StringIO(text), shards=new_shards
+        )
+        assert restored.shards == new_shards
+        assert restored.streams() == registry.streams()
+        for stream in registry.streams():
+            assert restored.monitor(stream).state_dict() == \
+                registry.monitor(stream).state_dict()
+
+    def test_placement_is_stable_across_processes(self):
+        # crc32 of the canonical encoding, not the salted builtin hash.
+        assert shard_of("alice", 16) == 14
+        assert shard_of(frozenset("ab"), 7) == shard_of(frozenset("ba"), 7)
+
+
+class TestValidation:
+    def test_record_validator_rejects_bogus_schema(self):
+        with pytest.raises(ValueError, match="repro-stream/v1"):
+            validate_stream_record({"schema": "bogus", "kind": "x"})
+
+    def test_missing_header_rejected(self):
+        text, _ = _checkpoint_bytes(_example_registry())
+        body = "\n".join(
+            line for line in text.splitlines()
+            if '"stream-checkpoint"' not in line
+        )
+        with pytest.raises(DataFormatError, match="no stream-checkpoint"):
+            read_checkpoint(io.StringIO(body))
+
+    def test_duplicate_header_rejected(self):
+        text, _ = _checkpoint_bytes(_example_registry())
+        header = text.splitlines()[0]
+        with pytest.raises(DataFormatError, match="more than one header"):
+            read_checkpoint(io.StringIO(header + "\n" + text))
+
+    def test_stream_count_mismatch_rejected(self):
+        text, _ = _checkpoint_bytes(_example_registry())
+        lines = text.splitlines()
+        truncated = "\n".join(lines[:-1]) + "\n"
+        with pytest.raises(DataFormatError, match="promises"):
+            read_checkpoint(io.StringIO(truncated))
+
+    def test_threshold_params_are_required(self):
+        with pytest.raises(ValueError, match="min_ps"):
+            validate_stream_record({
+                "schema": "repro-stream/v1",
+                "kind": "stream-checkpoint",
+                "shards": 4,
+                "params": {"per": 2},
+                "streams": 0,
+                "active": 0,
+                "evicted": 0,
+                "lru": [],
+                "watched": [],
+            })
+
+
+class TestCalendarRegistry:
+    def _registry(self):
+        registry = ShardedMonitorRegistry(
+            calendar=CalendarPeriod("hour-of-day"), min_ps=2, shards=2
+        )
+        for day in range(3):
+            registry.observe("ops", day * 1440 + 9 * 60, ["login"])
+            registry.observe("ops", day * 1440 + 14 * 60, ["scan"])
+        return registry
+
+    def test_round_trip_preserves_calendar_state(self):
+        registry = self._registry()
+        text, _ = _checkpoint_bytes(registry)
+        header, _ = read_checkpoint(io.StringIO(text))
+        assert header["params"]["calendar"] == "hour-of-day"
+        restored = ShardedMonitorRegistry.restore(io.StringIO(text))
+        assert restored.calendar.mode == "hour-of-day"
+        monitor = restored.monitor("ops")
+        assert monitor.recurring_items() == [(9, "login"), (14, "scan")]
+        assert _checkpoint_bytes(restored)[0] == text
+
+
+class TestGoldenCheckpoint:
+    def test_committed_golden_matches_current_writer(self, request):
+        text, _ = _checkpoint_bytes(_example_registry())
+        if request.config.getoption("--update-golden"):
+            with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            pytest.skip(f"snapshot refreshed: {GOLDEN_PATH}")
+        with open(GOLDEN_PATH, encoding="utf-8") as handle:
+            golden = handle.read()
+        assert text == golden, (
+            "repro-stream/v1 byte format drifted from the committed "
+            "golden; if intentional, refresh with --update-golden"
+        )
+
+    def test_committed_golden_still_restores_and_resumes(self):
+        restored = ShardedMonitorRegistry.restore(GOLDEN_PATH)
+        assert restored.streams() == ["tenant-0", "tenant-1", "tenant-2"]
+        # Old checkpoints must keep resuming under the current code.
+        restored.observe("tenant-0", 100, ["a"])
+        assert restored.monitor("tenant-0").support("a") > 0
+
+    def test_golden_records_validate_individually(self):
+        with open(GOLDEN_PATH, encoding="utf-8") as handle:
+            for line in handle:
+                validate_stream_record(json.loads(line))

@@ -1,0 +1,155 @@
+"""End-to-end tests for the ``repro-mine stream`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import paper_running_example
+from repro.timeseries.io import save_transactional_database
+
+
+@pytest.fixture
+def example_file(tmp_path):
+    path = tmp_path / "example.tsv"
+    save_transactional_database(paper_running_example(), path)
+    return str(path)
+
+
+@pytest.fixture
+def events_jsonl(tmp_path):
+    path = tmp_path / "events.jsonl"
+    rows = [
+        {"stream": "alice", "ts": 1, "items": ["login"]},
+        {"stream": "bob", "ts": 10, "items": ["backup"]},
+        {"stream": "alice", "ts": 3, "items": ["login"]},
+        {"stream": "alice", "ts": 4, "items": ["login", "mail"]},
+        {"stream": "bob", "ts": 12, "items": ["backup"]},
+    ]
+    path.write_text("\n".join(json.dumps(row) for row in rows))
+    return str(path)
+
+
+class TestFeeding:
+    def test_database_file_single_stream(self, example_file, capsys):
+        code = main([
+            "stream", "--input", example_file,
+            "--per", "2", "--min-ps", "3", "--min-rec", "2",
+            "--stream", "tenant-1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fed 12 event(s) into 1 stream(s)" in out
+        # Table 2's recurring single items, streamed.
+        assert "tenant-1: 5 recurring: a, b, d, e, f" in out
+
+    def test_jsonl_multi_tenant(self, events_jsonl, capsys):
+        code = main([
+            "stream", "--input", events_jsonl, "--format", "jsonl",
+            "--per", "2", "--min-ps", "2", "--shards", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 stream(s) across 4 shard(s)" in out
+        assert "alice" in out and "login" in out
+        assert "bob" in out and "backup" in out
+
+    def test_calendar_mode(self, tmp_path, capsys):
+        path = tmp_path / "mornings.jsonl"
+        path.write_text("\n".join(
+            json.dumps({"stream": "ops", "ts": day * 1440 + 9 * 60,
+                        "items": ["login"]})
+            for day in range(3)
+        ))
+        code = main([
+            "stream", "--input", str(path), "--format", "jsonl",
+            "--calendar", "hour-of-day", "--min-ps", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "09h:login" in out
+
+
+class TestCheckpointFlow:
+    def test_checkpoint_then_restore_resumes(
+        self, events_jsonl, tmp_path, capsys
+    ):
+        checkpoint = str(tmp_path / "ck.jsonl")
+        assert main([
+            "stream", "--input", events_jsonl, "--format", "jsonl",
+            "--per", "2", "--min-ps", "2",
+            "--checkpoint", checkpoint,
+        ]) == 0
+        capsys.readouterr()
+        more = tmp_path / "more.jsonl"
+        more.write_text(json.dumps(
+            {"stream": "alice", "ts": 5, "items": ["login"]}
+        ))
+        code = main([
+            "stream", "--restore", checkpoint,
+            "--input", str(more), "--format", "jsonl",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "restored 2 stream(s)" in captured.err
+        assert "fed 1 event(s) into 2 stream(s)" in captured.out
+
+    def test_metrics_out_writes_a_snapshot(
+        self, events_jsonl, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "metrics.jsonl"
+        assert main([
+            "stream", "--input", events_jsonl, "--format", "jsonl",
+            "--per", "2", "--min-ps", "2",
+            "--metrics-out", str(metrics_path),
+        ]) == 0
+        record = json.loads(metrics_path.read_text().splitlines()[0])
+        assert record["schema"] == "repro-metrics/v1"
+        names = {sample["name"] for sample in record["counters"]}
+        assert "repro_stream_events_total" in names
+
+
+class TestErrorPaths:
+    def test_missing_thresholds(self, capsys):
+        assert main(["stream"]) == 1
+        assert "--min-ps is required" in capsys.readouterr().err
+
+    def test_per_and_calendar_are_exclusive(self, capsys):
+        assert main([
+            "stream", "--min-ps", "2", "--per", "2",
+            "--calendar", "hour-of-day",
+        ]) == 1
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_restore_rejects_thresholds(self, tmp_path, capsys):
+        assert main([
+            "stream", "--restore", str(tmp_path / "nope"), "--per", "2",
+        ]) == 1
+        assert "carries its own thresholds" in capsys.readouterr().err
+
+    def test_stdin_requires_jsonl(self, capsys):
+        assert main([
+            "stream", "--input", "-", "--per", "2", "--min-ps", "2",
+        ]) == 1
+        assert "requires --format jsonl" in capsys.readouterr().err
+
+    def test_bad_jsonl_line_reports_line_number(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"stream": "a", "ts": 1, "items": ["x"]}\n{oops\n')
+        assert main([
+            "stream", "--input", str(path), "--format", "jsonl",
+            "--per", "2", "--min-ps", "2",
+        ]) == 1
+        assert "line 2" in capsys.readouterr().err
+
+    def test_timestamp_decrease_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "back.jsonl"
+        path.write_text("\n".join([
+            json.dumps({"stream": "a", "ts": 5, "items": ["x"]}),
+            json.dumps({"stream": "a", "ts": 4, "items": ["x"]}),
+        ]))
+        assert main([
+            "stream", "--input", str(path), "--format", "jsonl",
+            "--per", "2", "--min-ps", "2",
+        ]) == 1
+        assert "non-decreasing" in capsys.readouterr().err

@@ -1,0 +1,140 @@
+"""Eviction exactness: spilling a stream must be observationally invisible.
+
+The registry's ``max_active`` cap spills the least-recently-observed
+stream's monitor to a serialized state dict.  These tests pin the
+"exact re-admission" contract: an evicted-then-readmitted stream is
+*bit-identical* to one that was never evicted — open-run counters
+(``current_ps``, ``run_start``), the same-timestamp merge buffer and
+closed intervals included.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.streaming import ShardedMonitorRegistry
+
+
+def _interleaved(events_per_stream=6):
+    """alice/bob/carol events interleaved, independent clocks."""
+    events = []
+    for n in range(events_per_stream):
+        events.append(("alice", 1 + 2 * n, ["login", "mail"]))
+        events.append(("bob", 10 * n, ["backup"]))
+        events.append(("carol", 5 * n, ["scan"]))
+    return events
+
+
+def _feed(registry):
+    for stream, ts, items in _interleaved():
+        registry.observe(stream, ts, items)
+
+
+class TestExactReadmission:
+    def test_readmitted_state_is_bit_identical(self):
+        capped = ShardedMonitorRegistry(per=2, min_ps=2, max_active=1)
+        free = ShardedMonitorRegistry(per=2, min_ps=2)
+        _feed(capped)
+        _feed(free)
+        assert capped.evicted_streams >= 2  # the cap really bit
+        for stream in ("alice", "bob", "carol"):
+            readmitted = capped.monitor(stream)
+            untouched = free.monitor(stream)
+            assert readmitted.state_dict() == untouched.state_dict()
+
+    def test_open_run_counters_survive_the_spill(self):
+        registry = ShardedMonitorRegistry(per=2, min_ps=3, max_active=1)
+        registry.observe("alice", 1, ["a"])
+        registry.observe("alice", 3, ["a"])  # open run: ps=2, start=1
+        registry.observe("bob", 100, ["b"])  # evicts alice mid-run
+        assert registry.evicted_streams == 1
+        state = registry.monitor("alice").state("a")
+        assert state.current_ps == 2
+        assert state.run_start == 1
+        assert state.last_ts == 3
+        # The re-admitted run continues as if nothing happened.
+        registry.observe("alice", 4, ["a"])
+        assert registry.monitor("alice").recurrence(
+            "a", include_open_run=True
+        ) == 1
+
+    def test_merge_buffer_survives_the_spill(self):
+        registry = ShardedMonitorRegistry(per=2, min_ps=1, max_active=1)
+        registry.observe("alice", 7, ["a"])
+        registry.observe("bob", 1, ["b"])  # evicts alice at ts=7
+        registry.observe("alice", 7, ["a"])  # same ts again: must merge
+        assert registry.monitor("alice").support("a") == 1
+
+    def test_interval_callback_rebinds_after_readmission(self):
+        closed = []
+        registry = ShardedMonitorRegistry(
+            per=2,
+            min_ps=2,
+            max_active=1,
+            on_interval=lambda stream, item, iv: closed.append(
+                (stream, item, iv.start, iv.end)
+            ),
+        )
+        registry.observe("alice", 1, ["a"])
+        registry.observe("alice", 2, ["a"])
+        registry.observe("bob", 50, ["b"])  # spill alice mid-open-run
+        registry.observe("alice", 90, ["a"])  # break closes [1, 2]
+        assert closed == [("alice", "a", 1, 2)]
+
+    def test_watched_composites_apply_to_readmitted_streams(self):
+        registry = ShardedMonitorRegistry(per=2, min_ps=1, max_active=1)
+        registry.watch_pattern("ab", label="A+B")
+        registry.observe("alice", 1, "ab")
+        registry.observe("bob", 1, "ab")  # evicts alice
+        registry.observe("alice", 2, "ab")
+        assert registry.monitor("alice").support("A+B") == 2
+
+
+class TestRegistryBookkeeping:
+    def test_lru_picks_least_recently_observed(self):
+        registry = ShardedMonitorRegistry(per=2, min_ps=1, max_active=2)
+        registry.observe("alice", 1, ["a"])
+        registry.observe("bob", 1, ["b"])
+        registry.observe("alice", 2, ["a"])  # bob is now LRU
+        registry.observe("carol", 1, ["c"])  # evicts bob, not alice
+        assert registry.active_streams == 2
+        assert registry.evicted_streams == 1
+        spilled = [
+            key
+            for shard in registry._spilled
+            for key in shard
+        ]
+        assert spilled == ["bob"]
+
+    def test_unknown_stream_raises_keyerror(self):
+        registry = ShardedMonitorRegistry(per=2, min_ps=1)
+        with pytest.raises(KeyError, match="ghost"):
+            registry.monitor("ghost")
+
+    def test_streams_lists_active_and_spilled(self):
+        registry = ShardedMonitorRegistry(per=2, min_ps=1, max_active=1)
+        _feed(registry)
+        assert registry.streams() == ["alice", "bob", "carol"]
+        assert registry.active_streams == 1
+        assert registry.evicted_streams == 2
+
+    def test_metrics_counters_and_gauges(self):
+        metrics = MetricsRegistry()
+        registry = ShardedMonitorRegistry(
+            per=2, min_ps=2, max_active=1, metrics=metrics
+        )
+        _feed(registry)
+        names = {
+            (sample["name"], sample["value"])
+            for sample in metrics.snapshot()["counters"]
+        }
+        events = len(_interleaved())
+        assert ("repro_stream_events_total", float(events)) in names
+        by_name = dict(names)
+        assert by_name["repro_stream_evictions_total"] > 0
+        assert by_name["repro_stream_readmissions_total"] > 0
+        gauges = {
+            sample["name"]: sample["value"]
+            for sample in metrics.snapshot()["gauges"]
+        }
+        assert gauges["repro_stream_active_streams"] == 1.0
+        assert gauges["repro_stream_evicted_streams"] == 2.0

@@ -1,0 +1,125 @@
+"""Streamed ≡ batch, on every prefix, across shard counts.
+
+The conformance property of the whole streaming subsystem: feeding any
+transaction stream through a :class:`ShardedMonitorRegistry` — at any
+shard count, with other tenants interleaved, even under eviction
+pressure — yields, *after every prefix*, exactly the recurrence, Erec
+and interesting intervals the batch interval code computes on that
+prefix.  Shard counts {1, 4, 16} mirror the QA gate's matrix.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.intervals import (
+    estimated_recurrence,
+    interesting_intervals,
+    recurrence,
+)
+from repro.streaming import ShardedMonitorRegistry
+from tests.conftest import mining_parameters, small_databases
+
+SHARD_COUNTS = (1, 4, 16)
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+THOROUGH = settings(
+    max_examples=75,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _assert_prefix_equal(monitor, seen, per, min_ps):
+    """The streamed state equals batch on the prefix fed so far."""
+    for item, stamps in seen.items():
+        assert monitor.erec(item) == estimated_recurrence(
+            stamps, per, min_ps
+        )
+        assert monitor.recurrence(
+            item, include_open_run=True
+        ) == recurrence(stamps, per, min_ps)
+        assert [
+            (iv.start, iv.end, iv.periodic_support)
+            for iv in monitor.intervals(item, include_open_run=True)
+        ] == interesting_intervals(stamps, per, min_ps)
+
+
+def _feed_and_check(db, per, min_ps, shards, max_active=None):
+    registry = ShardedMonitorRegistry(
+        per=per, min_ps=min_ps, shards=shards, max_active=max_active
+    )
+    seen = {}
+    for index, (ts, itemset) in enumerate(db):
+        registry.observe("tenant", ts, itemset)
+        # Interleave other tenants (their clocks are independent); with
+        # max_active set this keeps evicting and re-admitting "tenant".
+        registry.observe(f"pad-{index % 3}", index, ["noise"])
+        for item in itemset:
+            seen.setdefault(item, []).append(ts)
+        _assert_prefix_equal(registry.monitor("tenant"), seen, per, min_ps)
+    return registry
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@RELAXED
+@given(db=small_databases(max_transactions=12), params=mining_parameters())
+def test_streamed_equals_batch_on_every_prefix(shards, db, params):
+    per, min_ps, _ = params
+    _feed_and_check(db, per, min_ps, shards)
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@RELAXED
+@given(db=small_databases(max_transactions=12), params=mining_parameters())
+def test_equality_survives_eviction_pressure(shards, db, params):
+    # max_active=2 with three pad tenants: "tenant" is spilled and
+    # re-admitted constantly, and must never notice.
+    per, min_ps, _ = params
+    registry = _feed_and_check(db, per, min_ps, shards, max_active=2)
+    if len(db) >= 2:
+        assert registry.evicted_streams > 0
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_running_example_tenants_are_independent(running_example, shards):
+    # Ten tenants, each fed a time-shifted copy of the running example,
+    # interleaved round-robin: every one must equal batch on the full
+    # stream, regardless of which shard it hashed to.
+    per, min_ps = 2, 3
+    registry = ShardedMonitorRegistry(per=per, min_ps=min_ps, shards=shards)
+    tenants = [f"tenant-{n}" for n in range(10)]
+    rows = list(running_example)
+    for ts, itemset in rows:
+        for offset, tenant in enumerate(tenants):
+            registry.observe(tenant, ts + offset, itemset)
+    stamps = {}
+    for ts, itemset in rows:
+        for item in itemset:
+            stamps.setdefault(item, []).append(ts)
+    for offset, tenant in enumerate(tenants):
+        monitor = registry.monitor(tenant)
+        for item, base in stamps.items():
+            shifted = [ts + offset for ts in base]
+            assert monitor.erec(item) == estimated_recurrence(
+                shifted, per, min_ps
+            )
+            assert [
+                (iv.start, iv.end, iv.periodic_support)
+                for iv in monitor.intervals(item, include_open_run=True)
+            ] == interesting_intervals(shifted, per, min_ps)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@THOROUGH
+@given(db=small_databases(), params=mining_parameters())
+def test_streamed_equals_batch_full_depth(shards, db, params):
+    # Nightly lane: full-size databases, more examples, both with and
+    # without eviction pressure.
+    per, min_ps, _ = params
+    _feed_and_check(db, per, min_ps, shards)
+    _feed_and_check(db, per, min_ps, shards, max_active=2)
