@@ -81,6 +81,19 @@ MUTATIONS: Tuple[Mutation, ...] = (
         before="elif ts - state.last_ts <= self.per:",
         after="elif ts - state.last_ts < self.per:",
     ),
+    # Merge-stage only: the sharded pipeline's run stitching drops one
+    # periodic-support unit per stitched cut.  In-memory mining, the
+    # oracle and the goldens never execute repro/shard/merge.py, so
+    # only the shard-merge relation can go red.
+    Mutation(
+        name="shard-merge-stitch-ps",
+        path="repro/shard/merge.py",
+        before="merged[-1] = (previous[0], run[1], previous[2] + run[2])",
+        after=(
+            "merged[-1] = (previous[0], run[1], "
+            "previous[2] + run[2] - 1)"
+        ),
+    ),
 )
 
 

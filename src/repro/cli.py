@@ -200,6 +200,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=0, help="print only the N highest-support patterns"
     )
     mine.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="mine through the time-sharded pipeline with N shards "
+        "(byte-identical output; see the shard subcommand for the "
+        "out-of-core file variant)",
+    )
+    mine.add_argument(
         "--max-faults",
         type=int,
         default=0,
@@ -550,6 +559,49 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 5)",
     )
 
+    shard = commands.add_parser(
+        "shard",
+        help="out-of-core mining: stream a time-sorted transaction "
+        "file in bounded-memory shards (byte-identical to mine)",
+    )
+    shard.add_argument(
+        "--input",
+        required=True,
+        help="transaction file with non-decreasing timestamps",
+    )
+    shard.add_argument(
+        "--per", type=float, required=True, help="period threshold"
+    )
+    shard.add_argument(
+        "--min-ps",
+        type=_threshold,
+        required=True,
+        help="minimum periodic-support (count, or fraction like 0.02)",
+    )
+    shard.add_argument(
+        "--min-rec", type=int, default=1, help="minimum recurrence (default 1)"
+    )
+    shard.add_argument(
+        "--engine", choices=ENGINES, default="rp-growth", help="mining engine"
+    )
+    shard.add_argument(
+        "--top", type=int, default=0,
+        help="print only the N highest-support patterns",
+    )
+    shard.add_argument(
+        "--max-events",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="per-shard transaction bound — the peak-memory knob "
+        "(default 100000)",
+    )
+    shard.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map the input instead of buffered reads",
+    )
+
     trace = commands.add_parser(
         "trace",
         help="analyze a JSON-lines trace (span tree, phase "
@@ -572,18 +624,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     for sub in (
         mine, generate, stats, bench, sweep, compare, rules, baseline,
-        qa, stream, trace,
+        qa, stream, shard, trace,
     ):
         _add_logging_flag(sub)
     _add_profiling_flags(mine)
     _add_profiling_flags(baseline)
     _add_profiling_flags(bench, memory=False)
     _add_profiling_flags(sweep)
-    for sub in (mine, bench, sweep):
+    for sub in (mine, bench, sweep, shard):
         _add_progress_flag(sub, metrics=True)
     for sub in (baseline, qa):
         _add_progress_flag(sub)
-    for sub in (mine, bench, sweep, baseline):
+    for sub in (mine, bench, sweep, baseline, shard):
         _add_jobs_flag(sub)
     return parser
 
@@ -619,6 +671,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_qa(args)
         if args.command == "stream":
             return _cmd_stream(args)
+        if args.command == "shard":
+            return _cmd_shard(args)
         if args.command == "trace":
             return _cmd_trace(args)
     except (ReproError, OSError) as error:
@@ -638,6 +692,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         if args.jobs > 1:
             print(
                 "note: the noise-tolerant miner is serial; --jobs ignored",
+                file=sys.stderr,
+            )
+        if args.shards:
+            print(
+                "note: the noise-tolerant miner does not shard; "
+                "--shards ignored",
                 file=sys.stderr,
             )
         from repro.core.noise import mine_noise_tolerant_patterns
@@ -686,6 +746,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             min_rec=args.min_rec,
             engine=args.engine,
             jobs=args.jobs,
+            shards=args.shards,
             resilience=_resilience_options(args),
             observability=ObservabilityOptions(
                 collect_stats=True,
@@ -703,6 +764,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             min_rec=args.min_rec,
             engine=args.engine,
             jobs=args.jobs,
+            shards=args.shards,
             resilience=_resilience_options(args),
             observability=ObservabilityOptions(
                 progress=args.progress,
@@ -762,6 +824,73 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
         save_patterns(found, args.save_patterns)
         print(f"patterns written to {args.save_patterns}")
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.obs.progress import monitor_from_options
+    from repro.shard import mine_sharded_file
+
+    monitor = monitor_from_options(
+        ObservabilityOptions(
+            progress=args.progress, metrics=args.metrics_out
+        )
+    )
+    started = time.perf_counter()
+    try:
+        found, stats, faults, report = mine_sharded_file(
+            args.input,
+            per=args.per,
+            min_ps=args.min_ps,
+            min_rec=args.min_rec,
+            engine=args.engine,
+            jobs=args.jobs,
+            resilience=_resilience_options(args),
+            monitor=monitor,
+            max_transactions=args.max_events,
+            use_mmap=args.mmap,
+        )
+        if monitor is not None:
+            monitor.run_finished(
+                engine=args.engine,
+                stats=stats,
+                seconds=time.perf_counter() - started,
+                patterns_found=len(found),
+            )
+    finally:
+        if monitor is not None:
+            monitor.close()
+    patterns = found.top(args.top) if args.top else list(found)
+    rows = [
+        (
+            " ".join(str(item) for item in p.sorted_items()),
+            p.support,
+            p.recurrence,
+            ", ".join(str(interval) for interval in p.intervals),
+        )
+        for p in patterns
+    ]
+    print(
+        format_table(
+            ["pattern", "sup", "rec", "interesting periodic-intervals"],
+            rows,
+            title=(
+                f"{len(found)} recurring patterns "
+                f"(per={args.per:g}, minPS={args.min_ps}, "
+                f"minRec={args.min_rec}, out-of-core)"
+            ),
+        )
+    )
+    print(
+        f"shards: {report.shard_count} "
+        f"(max {args.max_events} transactions each), "
+        f"candidates: {report.local_candidates} local + "
+        f"{report.boundary_candidates} boundary, "
+        f"stitched runs: {report.merge.stitched_runs}, "
+        f"boundary patterns: {report.merge.boundary_patterns}"
+    )
+    if faults:
+        print(f"note: {len(faults)} parallel fault(s) handled", file=sys.stderr)
     return 0
 
 

@@ -54,6 +54,8 @@ def mine_recurring_patterns(
     engine: str = "rp-growth",
     *,
     jobs: Optional[int] = None,
+    shards: Optional[int] = None,
+    max_events_in_memory: Optional[int] = None,
     resilience: Optional[ResilienceOptions] = None,
     observability: Optional[ObservabilityOptions] = None,
     timeout=UNSET,
@@ -102,6 +104,18 @@ def mine_recurring_patterns(
         engines whose registry entry has ``supports_jobs`` accept
         ``jobs > 1`` (the ``naive`` reference does not).  See
         ``docs/performance.md`` for when parallelism actually pays.
+    shards:
+        Route the mine through the time-sharded pipeline
+        (:mod:`repro.shard`) with this many balanced shards.  The
+        result is byte-identical to the direct mine for any shard
+        count; each shard still mines through ``engine`` / ``jobs`` /
+        ``resilience``.  Mutually exclusive with
+        ``max_events_in_memory``.
+    max_events_in_memory:
+        Like ``shards``, but bounded by memory instead of count: no
+        shard holds more than this many transactions.  This is the
+        out-of-core knob — see ``repro-mine shard`` for the variant
+        that streams straight from a file without ever loading it.
     resilience:
         A :class:`~repro.core.options.ResilienceOptions` bundling the
         parallel failure-handling knobs (per-chunk ``timeout``,
@@ -155,6 +169,12 @@ def mine_recurring_patterns(
     # work starts, with the shared _validation.py messages.
     MiningParameters(per=per, min_ps=min_ps, min_rec=min_rec)
     jobs = _resolve_jobs(jobs, engine)
+    if shards is not None and max_events_in_memory is not None:
+        raise ParameterError(
+            "shards and max_events_in_memory are mutually exclusive — "
+            "one names a shard count, the other a per-shard bound"
+        )
+    sharded = shards is not None or max_events_in_memory is not None
     resilience = resolve_resilience(
         resilience,
         timeout=timeout,
@@ -184,15 +204,29 @@ def mine_recurring_patterns(
     # both branches below, including the jobs=1 serial path.
     monitor = monitor_from_options(obs)
     owns_monitor = monitor is not None and obs.monitor is None
+
+    def _dispatch(database):
+        """Direct or sharded mine: (result, stats, faults, report?)."""
+        if not sharded:
+            found, run_stats, fault_list = _run_engine(
+                database, per, min_ps, min_rec, engine, jobs, resilience,
+                monitor=monitor,
+            )
+            return found, run_stats, fault_list, None
+        from repro.shard.miner import mine_sharded_database
+
+        return mine_sharded_database(
+            database, per, min_ps, min_rec, engine,
+            jobs=jobs, resilience=resilience, monitor=monitor,
+            shards=shards, max_transactions=max_events_in_memory,
+        )
+
     try:
         if not obs.enabled:
             started = time.perf_counter()
             with span("transform"):
                 database = _as_database(data)
-            result, run_stats, _ = _run_engine(
-                database, per, min_ps, min_rec, engine, jobs, resilience,
-                monitor=monitor,
-            )
+            result, run_stats, _, _ = _dispatch(database)
             if monitor is not None:
                 monitor.run_finished(
                     engine=engine,
@@ -207,10 +241,7 @@ def mine_recurring_patterns(
         with collector:
             with span("transform"):
                 database = _as_database(data)
-            result, stats, fault_events = _run_engine(
-                database, per, min_ps, min_rec, engine, jobs, resilience,
-                monitor=monitor,
-            )
+            result, stats, fault_events, shard_report = _dispatch(database)
         seconds = time.perf_counter() - started
         if monitor is not None:
             monitor.run_finished(
@@ -226,6 +257,8 @@ def mine_recurring_patterns(
     if jobs > 1:
         params["jobs"] = jobs
     extra: dict = {}
+    if shard_report is not None:
+        extra["shards"] = shard_report.as_dict()
     if fault_events:
         extra["faults"] = {
             "chunks_retried": stats.chunks_retried,

@@ -9,7 +9,7 @@ set is exactly predicted by the model of Definitions 1–9.  A pruning
 bug, an ordering bug or a parallel-merge bug shows up as a violated
 prediction even on databases where no reference result is known.
 
-The registry :data:`RELATIONS` holds seven relations:
+The registry :data:`RELATIONS` holds eight relations:
 
 ``time-shift``
     Shifting every timestamp by a constant shifts every interval by the
@@ -46,6 +46,13 @@ The registry :data:`RELATIONS` holds seven relations:
     stream — same final checkpoint bytes, same intervals emitted after
     the cut — at shard counts 1, 4 and 16.  The streamed result must
     also still equal the batch engine's.
+``shard-merge``
+    Mining through the out-of-core sharded pipeline (:mod:`repro.shard`)
+    — at shard counts 1, 3 and 8 *and* with cuts placed adversarially
+    inside recurrence runs — equals in-memory mining exactly, per
+    (engine, jobs) cell.  This is the split/merge property: shards
+    partition the time axis, per-shard runs concatenate, and stitching
+    across cuts recovers every maximal run (Definitions 5 and 8).
 
 Each relation is checked per engine and per ``jobs`` level: the engine
 mines the base case and the transformed case, and the transformed
@@ -89,6 +96,7 @@ from repro.timeseries.database import TransactionalDatabase
 
 __all__ = [
     "RELATIONS",
+    "SHARD_MERGE_COUNTS",
     "STREAM_SHARDS",
     "MetamorphicRelation",
     "RelationCase",
@@ -519,6 +527,103 @@ def _checkpoint_expected(mine: MineFn, rows: Rows, params: CaseParams):
     return expected
 
 
+# ----------------------------------------------------------------------
+# Out-of-core shard-merge relation (repro.shard vs. in-memory mining)
+# ----------------------------------------------------------------------
+#: Shard counts the shard-merge relation is checked at.
+SHARD_MERGE_COUNTS: Tuple[int, ...] = (1, 3, 8)
+
+
+def _adversarial_cuts(rows: Rows, params: CaseParams) -> Tuple[float, ...]:
+    """Cut positions *inside* periodic runs — the stitch-stressing plan.
+
+    Balanced sharding often lands its cuts in quiet gaps; the merge bug
+    class lives at cuts that split a maximal run in two.  Interior
+    occurrences of single-item runs (taken most-frequent item first)
+    are exactly such positions: the planner cuts at a timestamp, so a
+    cut at an interior occurrence ends the left shard mid-run.
+    """
+    from repro.core.intervals import _iter_runs
+
+    database = TransactionalDatabase(rows)
+    counts: Dict[object, int] = {}
+    for _, itemset in database:
+        for item in itemset:
+            counts[item] = counts.get(item, 0) + 1
+    cuts: List[float] = []
+    seen = set()
+    for item in sorted(counts, key=lambda i: (-counts[i], repr(i))):
+        timestamps = database.timestamps_of([item])
+        for start, end, _ in _iter_runs(timestamps, params.per):
+            for ts in timestamps:
+                if start <= ts < end and ts not in seen:
+                    seen.add(ts)
+                    cuts.append(ts)
+    if not cuts:
+        # No multi-occurrence run anywhere: cut between transactions.
+        cuts = [transaction.ts for transaction in database][:-1]
+    return tuple(cuts[:4])
+
+
+#: Memo of sharded runs, keyed by (case, plan spec, engine, jobs) — the
+#: sharded side exercises the engine under test, so cells don't share.
+_SHARD_MEMO: Dict[tuple, list] = {}
+
+
+def _sharded_canonical(
+    rows: Rows, params: CaseParams, engine: str, jobs: int, plan_spec
+) -> List[tuple]:
+    """Canonical view of a sharded mine; ``plan_spec`` is a shard count
+    or ``("cuts", <cut tuple>)``."""
+    from repro.qa.differential import canonical
+    from repro.shard import mine_sharded_database
+
+    key = (_stream_case_key(rows, params, 0), plan_spec, engine, jobs)
+    if key in _SHARD_MEMO:
+        return _SHARD_MEMO[key]
+    database = TransactionalDatabase(rows)
+    per, min_ps, min_rec = params
+    kwargs = (
+        {"cuts": plan_spec[1]}
+        if isinstance(plan_spec, tuple)
+        else {"shards": plan_spec}
+    )
+    found, _, _, _ = mine_sharded_database(
+        database, per, min_ps, min_rec, engine, jobs=jobs, **kwargs
+    )
+    result = canonical(found)
+    if len(_SHARD_MEMO) > 256:
+        _SHARD_MEMO.clear()
+    _SHARD_MEMO[key] = result
+    return result
+
+
+def _shard_merge_transform(rows: Rows, params: CaseParams):
+    return list(rows), params
+
+
+def _shard_merge_expected(mine: MineFn, rows: Rows, params: CaseParams):
+    # The "got" side is the engine's plain in-memory mine (identity
+    # transform); the prediction re-mines through the sharded pipeline
+    # with the *same* engine/jobs cell and flags any divergence, so a
+    # merge bug is pinned to the cell that produced it.
+    engine = getattr(mine, "engine", "rp-growth")
+    jobs = getattr(mine, "jobs", 1)
+    base = list(mine(rows, params))
+    expected = list(base)
+    plans = [(f"shards={s}", s) for s in SHARD_MERGE_COUNTS]
+    adversarial = _adversarial_cuts(rows, params)
+    if adversarial:
+        plans.append((f"cuts={list(adversarial)}", ("cuts", adversarial)))
+    for label, plan_spec in plans:
+        variant = _sharded_canonical(rows, params, engine, jobs, plan_spec)
+        if variant != base:
+            expected.append(
+                (("__shard-merge-divergence__", label), -1, -1, ())
+            )
+    return expected
+
+
 RELATIONS: Tuple[MetamorphicRelation, ...] = (
     MetamorphicRelation(
         name="time-shift",
@@ -603,6 +708,23 @@ RELATIONS: Tuple[MetamorphicRelation, ...] = (
         ),
         transform=_checkpoint_transform,
         expected=_checkpoint_expected,
+    ),
+    MetamorphicRelation(
+        name="shard-merge",
+        description=(
+            "out-of-core sharded mining (shards 1/3/8 plus adversarial "
+            "cuts inside recurrence runs) equals in-memory mining"
+        ),
+        paper_basis=(
+            "shards partition the time axis, so a pattern's global "
+            "point sequence is the concatenation of its per-shard "
+            "sequences; stitching runs whose gap across a cut is <= "
+            "per recovers every maximal run, and re-applying minPS/"
+            "minRec on the stitched runs recovers Definitions 5 and 8 "
+            "exactly"
+        ),
+        transform=_shard_merge_transform,
+        expected=_shard_merge_expected,
     ),
 )
 

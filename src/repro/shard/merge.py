@@ -1,0 +1,136 @@
+"""Stitching per-shard pattern state into the global result.
+
+The merge rests on the split/merge reading of the paper's model (the
+``concat-disjoint`` metamorphic relation, Definitions 5 and 8): shards
+partition the time axis, so a pattern's global point sequence is the
+concatenation of its per-shard point sequences, and every *maximal*
+periodic run of the global sequence is either (a) a maximal run inside
+one shard, or (b) a chain of per-shard fragments whose adjacent
+endpoints are within ``per`` of each other across a cut.
+
+Each :class:`ShardResult` therefore carries, per candidate pattern, the
+complete run-length encoding of the pattern inside the shard — *all*
+maximal runs with their ``(start, end, ps)``, not only the interesting
+ones — plus the shard-local support.  :func:`merge_shard_results`
+concatenates the run lists in shard order, concatenates runs that span
+a cut (gap ``<= per``), sums supports, and only then applies the
+``min_ps`` / ``min_rec`` thresholds; recurrence is thereby re-checked
+on the *stitched* runs, so a pattern whose interesting intervals exist
+only across cuts is recovered exactly, and a fragment that only looked
+interesting in isolation is not double-counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    NamedTuple,
+    Tuple,
+)
+
+from repro.core.model import (
+    PeriodicInterval,
+    RecurringPattern,
+    RecurringPatternSet,
+)
+
+__all__ = [
+    "MergeStats",
+    "ShardPatternState",
+    "ShardResult",
+    "merge_shard_results",
+]
+
+#: One maximal periodic run: ``(start, end, periodic_support)``.
+Run = Tuple[float, float, int]
+
+
+class ShardPatternState(NamedTuple):
+    """A pattern's complete point-sequence summary inside one shard."""
+
+    support: int
+    runs: Tuple[Run, ...]
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Verified per-pattern state of one shard, keyed by itemset."""
+
+    index: int
+    states: Mapping[FrozenSet, ShardPatternState]
+
+
+class MergeStats(NamedTuple):
+    """What the merge actually did (telemetry and QA counters)."""
+
+    patterns_considered: int
+    stitched_runs: int
+    boundary_patterns: int
+
+
+def merge_shard_results(
+    shard_results: Iterable[ShardResult],
+    *,
+    per: float,
+    min_ps: int,
+    min_rec: int,
+) -> Tuple[RecurringPatternSet, MergeStats]:
+    """Stitch shard states into the exact in-memory mining result.
+
+    ``min_ps`` must already be an absolute count resolved against the
+    *full* database size (fractional thresholds resolve before
+    sharding, or each shard would move the bar).
+    """
+    ordered = sorted(shard_results, key=lambda shard: shard.index)
+    runs_by_pattern: Dict[FrozenSet, List[Run]] = {}
+    support: Dict[FrozenSet, int] = {}
+    for shard in ordered:
+        for items, state in shard.states.items():
+            runs_by_pattern.setdefault(items, []).extend(state.runs)
+            support[items] = support.get(items, 0) + state.support
+
+    patterns: List[RecurringPattern] = []
+    stitched_runs = 0
+    boundary_patterns = 0
+    for items, runs in runs_by_pattern.items():
+        merged: List[Run] = []
+        stitched_here = 0
+        for run in runs:
+            # Within a shard consecutive maximal runs are > per apart,
+            # so this gap test only ever fires across a cut — including
+            # chains that hop over shards where the pattern is absent.
+            if merged and run[0] - merged[-1][1] <= per:
+                previous = merged[-1]
+                merged[-1] = (previous[0], run[1], previous[2] + run[2])
+                stitched_here += 1
+            else:
+                merged.append(run)
+        stitched_runs += stitched_here
+        if stitched_here:
+            boundary_patterns += 1
+        intervals = tuple(
+            PeriodicInterval(start, end, ps)
+            for start, end, ps in merged
+            if ps >= min_ps
+        )
+        if len(intervals) >= min_rec:
+            patterns.append(
+                RecurringPattern(
+                    items=items,
+                    support=support[items],
+                    intervals=intervals,
+                )
+            )
+    return (
+        RecurringPatternSet(patterns),
+        MergeStats(
+            patterns_considered=len(runs_by_pattern),
+            stitched_runs=stitched_runs,
+            boundary_patterns=boundary_patterns,
+        ),
+    )

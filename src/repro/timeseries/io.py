@@ -9,10 +9,23 @@ Two line-oriented formats are supported, both friendly to shell tools:
 Timestamps are parsed as ``int`` when possible, otherwise ``float``.
 Blank lines and lines starting with ``#`` are ignored.  Malformed lines
 raise :class:`~repro.exceptions.DataFormatError` with the line number.
+
+Besides the eager loaders, the transaction format has a *streaming*
+surface for out-of-core work (:mod:`repro.shard`):
+
+* :func:`stream_transaction_rows` lazily yields parsed ``(ts, items)``
+  rows — optionally via ``mmap`` — without materializing the file;
+* :func:`load_transactional_database_streaming` builds a database from
+  that stream (byte-identical to :func:`load_transactional_database`);
+* :func:`iter_database_chunks` cuts a *time-sorted* file into bounded
+  :class:`~repro.timeseries.database.TransactionalDatabase` chunks,
+  merging rows that share a timestamp and never splitting one across
+  chunks.
 """
 
 from __future__ import annotations
 
+import mmap as _mmap
 import os
 from typing import IO, Iterator, List, Tuple, Union
 
@@ -27,6 +40,9 @@ __all__ = [
     "save_event_sequence",
     "load_transactional_database",
     "save_transactional_database",
+    "load_transactional_database_streaming",
+    "stream_transaction_rows",
+    "iter_database_chunks",
     "load_spmf_transactions",
     "save_spmf_transactions",
 ]
@@ -64,14 +80,91 @@ def load_transactional_database(source: PathOrFile) -> TransactionalDatabase:
     """Read a transactional database from ``source``."""
     rows: List[Tuple[float, List[str]]] = []
     for line_no, line in _lines(source):
-        parts = line.split("\t")
-        if len(parts) != 2 or not parts[1].strip():
-            raise DataFormatError(
-                f"line {line_no}: expected '<ts>\\t<items>', got {line!r}"
-            )
-        items = parts[1].split()
-        rows.append((_parse_ts(parts[0], line_no), items))
+        rows.append(_parse_transaction_line(line_no, line))
     return TransactionalDatabase(rows)
+
+
+def stream_transaction_rows(
+    source: PathOrFile, *, use_mmap: bool = False
+) -> Iterator[Tuple[float, List[str]]]:
+    """Lazily yield ``(ts, items)`` rows of a transaction-format source.
+
+    The generator parses one line at a time, so the file is never
+    materialized: blank lines and ``#`` comments are skipped exactly as
+    the eager loader skips them, and a malformed line raises
+    :class:`~repro.exceptions.DataFormatError` *when the iterator
+    reaches it*, carrying the same line number the eager loader would
+    report.
+
+    With ``use_mmap=True`` (paths only) the file is memory-mapped and
+    lines are decoded straight from the mapping — the OS pages the data
+    in and out instead of the Python heap holding it.
+    """
+    for line_no, line in _lines(source, use_mmap=use_mmap):
+        yield _parse_transaction_line(line_no, line)
+
+
+def load_transactional_database_streaming(
+    source: PathOrFile, *, use_mmap: bool = False
+) -> TransactionalDatabase:
+    """Build a database by streaming ``source`` row by row.
+
+    Byte-identical to :func:`load_transactional_database` on any input
+    (same parsing, same grouping, same errors); only the peak memory
+    profile differs — no intermediate row list is ever built.
+    """
+    return TransactionalDatabase(
+        stream_transaction_rows(source, use_mmap=use_mmap)
+    )
+
+
+def iter_database_chunks(
+    source: PathOrFile, max_transactions: int, *, use_mmap: bool = False
+) -> Iterator[TransactionalDatabase]:
+    """Cut a *time-sorted* transaction file into bounded database chunks.
+
+    Yields :class:`~repro.timeseries.database.TransactionalDatabase`
+    chunks of at most ``max_transactions`` transactions each.  Rows
+    sharing a timestamp are merged into one transaction (exactly like
+    the eager loader's constructor pass) and are never split across a
+    chunk boundary, so concatenating the chunks reproduces the eager
+    database transaction for transaction.
+
+    Timestamps must be non-decreasing in file order — chunking an
+    unsorted file by position would not partition the *time* axis, so a
+    timestamp regression raises
+    :class:`~repro.exceptions.DataFormatError` with the offending line
+    number.  This is the reader that feeds the out-of-core sharded
+    miner (:mod:`repro.shard`); chunk boundaries are deterministic, so
+    repeated passes over the same file see identical chunks.
+    """
+    if isinstance(max_transactions, bool) or not isinstance(
+        max_transactions, int
+    ) or max_transactions < 1:
+        raise DataFormatError(
+            f"max_transactions must be a positive int, "
+            f"got {max_transactions!r}"
+        )
+    rows: List[Tuple[float, List[str]]] = []
+    distinct = 0
+    previous_ts: float = float("-inf")
+    for line_no, line in _lines(source, use_mmap=use_mmap):
+        ts, items = _parse_transaction_line(line_no, line)
+        if ts < previous_ts:
+            raise DataFormatError(
+                f"line {line_no}: timestamps must be non-decreasing for "
+                f"chunked reading, saw {previous_ts!r} then {ts!r}"
+            )
+        if ts != previous_ts:
+            if distinct == max_transactions:
+                yield TransactionalDatabase(rows)
+                rows = []
+                distinct = 0
+            distinct += 1
+            previous_ts = ts
+        rows.append((ts, items))
+    if rows:
+        yield TransactionalDatabase(rows)
 
 
 def save_transactional_database(
@@ -147,10 +240,14 @@ def save_spmf_transactions(
 # ----------------------------------------------------------------------
 # Internal helpers
 # ----------------------------------------------------------------------
-def _lines(source: PathOrFile) -> Iterator[Tuple[int, str]]:
+def _lines(
+    source: PathOrFile, *, use_mmap: bool = False
+) -> Iterator[Tuple[int, str]]:
     """Yield (line_number, stripped_line), skipping blanks and comments."""
     if hasattr(source, "read"):
         yield from _iter_handle(source)  # type: ignore[arg-type]
+    elif use_mmap:
+        yield from _iter_mmap(source)
     else:
         with open(source, "r", encoding="utf-8") as handle:
             yield from _iter_handle(handle)
@@ -162,6 +259,43 @@ def _iter_handle(handle: IO[str]) -> Iterator[Tuple[int, str]]:
         if not line.strip() or line.lstrip().startswith("#"):
             continue
         yield line_no, line
+
+
+def _iter_mmap(path: Union[str, "os.PathLike[str]"]) -> Iterator[Tuple[int, str]]:
+    """Line iterator over a memory-mapped file.
+
+    Matches :func:`_iter_handle` on ``\\n``- and ``\\r\\n``-terminated
+    files (lone-``\\r`` line endings need the buffered reader, which
+    applies universal-newline translation).
+    """
+    with open(path, "rb") as handle:
+        if os.fstat(handle.fileno()).st_size == 0:
+            return
+        with _mmap.mmap(
+            handle.fileno(), 0, access=_mmap.ACCESS_READ
+        ) as mapped:
+            line_no = 0
+            while True:
+                raw = mapped.readline()
+                if not raw:
+                    return
+                line_no += 1
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if not line.strip() or line.lstrip().startswith("#"):
+                    continue
+                yield line_no, line
+
+
+def _parse_transaction_line(
+    line_no: int, line: str
+) -> Tuple[float, List[str]]:
+    """Parse one transaction-format line (shared by eager and streaming)."""
+    parts = line.split("\t")
+    if len(parts) != 2 or not parts[1].strip():
+        raise DataFormatError(
+            f"line {line_no}: expected '<ts>\\t<items>', got {line!r}"
+        )
+    return _parse_ts(parts[0], line_no), parts[1].split()
 
 
 class _WriteContext:

@@ -37,7 +37,7 @@ def _normalized(rows):
 # ----------------------------------------------------------------------
 # Registry shape
 # ----------------------------------------------------------------------
-def test_registry_holds_the_seven_relations():
+def test_registry_holds_the_eight_relations():
     assert [r.name for r in RELATIONS] == [
         "time-shift",
         "item-relabel",
@@ -46,6 +46,7 @@ def test_registry_holds_the_seven_relations():
         "event-duplication",
         "stream-batch",
         "stream-checkpoint-resume",
+        "shard-merge",
     ]
     for relation in RELATIONS:
         assert relation.description and relation.paper_basis

@@ -1,0 +1,112 @@
+"""Shard planning: balanced plans, explicit cuts, slicing round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.shard.planner import ShardPlan, ShardPlanner, plan_with_cuts
+from repro.timeseries.database import TransactionalDatabase
+
+
+def test_planner_requires_exactly_one_mode():
+    with pytest.raises(ParameterError):
+        ShardPlanner()
+    with pytest.raises(ParameterError):
+        ShardPlanner(shards=2, max_transactions=5)
+    for bad in (0, -1, True, 1.5):
+        with pytest.raises(ParameterError):
+            ShardPlanner(shards=bad)
+        with pytest.raises(ParameterError):
+            ShardPlanner(max_transactions=bad)
+
+
+def test_balanced_plan_by_shard_count():
+    plan = ShardPlanner(shards=3).plan([1, 2, 3, 4, 5, 6, 7])
+    assert plan.sizes == (3, 2, 2)
+    assert plan.cuts == (3, 5)
+    assert plan.shard_count == 3
+    assert plan.total == 7
+
+
+def test_shard_count_clamps_to_transaction_count():
+    plan = ShardPlanner(shards=10).plan([5, 9])
+    assert plan.sizes == (1, 1)
+    assert plan.cuts == (5,)
+
+
+def test_plan_by_max_transactions():
+    plan = ShardPlanner(max_transactions=3).plan(list(range(8)))
+    assert plan.shard_count == 3  # ceil(8 / 3)
+    assert max(plan.sizes) <= 3
+    assert plan.total == 8
+
+
+def test_empty_plan():
+    plan = ShardPlanner(shards=4).plan([])
+    assert plan.sizes == ()
+    assert plan.cuts == ()
+    assert plan.shard_count == 0
+
+
+def test_plan_validates_cut_arity():
+    with pytest.raises(ParameterError):
+        ShardPlan(cuts=(1, 2), sizes=(3, 4))
+
+
+def test_plan_with_cuts_snaps_and_canonicalizes():
+    timestamps = [1, 3, 5, 7, 9]
+    # A cut between transactions snaps down; a cut at a transaction
+    # keeps it on the left; duplicates and out-of-range cuts drop out.
+    plan = plan_with_cuts(timestamps, [4, 3.5, 3, 100, -2, 9])
+    assert plan.cuts == (3,)
+    assert plan.sizes == (2, 3)
+    assert plan_with_cuts(timestamps, []).sizes == (5,)
+    assert plan_with_cuts([], [3]).sizes == ()
+
+
+def test_slices_round_trip(running_example):
+    timestamps = [transaction.ts for transaction in running_example]
+    for shards in (1, 2, 3, len(timestamps)):
+        plan = ShardPlanner(shards=shards).plan(timestamps)
+        pieces = list(plan.slices(running_example))
+        assert [len(piece) for piece in pieces] == list(plan.sizes)
+        rebuilt = [
+            (ts, itemset) for piece in pieces for ts, itemset in piece
+        ]
+        assert rebuilt == list(running_example)
+
+
+@given(
+    n=st.integers(min_value=0, max_value=50),
+    shards=st.integers(min_value=1, max_value=12),
+)
+def test_balanced_plans_partition_everything(n, shards):
+    timestamps = list(range(0, 2 * n, 2))
+    plan = ShardPlanner(shards=shards).plan(timestamps)
+    assert plan.total == n
+    assert all(size >= 1 for size in plan.sizes)
+    if n:
+        assert plan.shard_count == min(shards, n)
+        assert max(plan.sizes) - min(plan.sizes) <= 1
+        # Cuts are the last timestamp of each non-final shard.
+        offset = 0
+        for size, cut in zip(plan.sizes[:-1], plan.cuts):
+            offset += size
+            assert cut == timestamps[offset - 1]
+
+
+def test_plan_never_splits_duplicate_timestamps():
+    # Constructor merges duplicate rows first, so the planner only ever
+    # sees distinct timestamps; assert the end-to-end behaviour anyway.
+    database = TransactionalDatabase(
+        [(1, "a"), (1, "b"), (2, "a"), (2, "c"), (3, "a")]
+    )
+    timestamps = [transaction.ts for transaction in database]
+    plan = ShardPlanner(shards=2).plan(timestamps)
+    pieces = list(plan.slices(database))
+    for piece in pieces:
+        assert len({ts for ts, _ in piece}) == len(piece)
+    assert sorted(ts for piece in pieces for ts, _ in piece) == [1, 2, 3]
