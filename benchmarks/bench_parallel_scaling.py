@@ -31,6 +31,7 @@ import time
 
 from repro.bench.workloads import quest_workload
 from repro.core.miner import mine_recurring_patterns
+from repro.core.options import ObservabilityOptions
 from repro.obs.report import validate_run_record
 from repro.parallel import ParallelMiner
 
@@ -81,7 +82,8 @@ def _best_run(db, jobs):
     for _ in range(REPEATS):
         started = time.perf_counter()
         found, telemetry = mine_recurring_patterns(
-            db, **PARAMS, jobs=jobs, collect_stats=True
+            db, **PARAMS, jobs=jobs,
+            observability=ObservabilityOptions(collect_stats=True),
         )
         seconds = time.perf_counter() - started
         if seconds < best_seconds:

@@ -1,0 +1,179 @@
+"""Service result cache: warm (cached) vs cold (mined) request latency.
+
+The daemon's reason to exist over one-shot CLI runs is that repeated
+questions — the workflow the paper's evaluation grids institutionalise
+— should not re-pay the mine.  This bench boots a real
+:class:`~repro.service.MiningService`, submits a small ``per`` ladder
+over the Quest workload **cold** (every request a cache miss, mined in
+full), then re-submits the identical requests **warm** (every request
+an exact cache hit), measuring end-to-end client latency — submit,
+poll, fetch — for both.
+
+Every warm answer must be byte-identical to its cold counterpart, and a
+derived request (tighter ``min_rec`` against the cached column) must be
+byte-identical to a fresh local mine — caching that changed an answer
+would be a bug, not a speedup.  The median warm/cold ratio is recorded
+to ``BENCH_service.json`` (a ``repro-bench/v1`` envelope embedding the
+service's final metrics snapshot) and **gated at ≥2×**.  The gate is
+conservative: a warm hit pays dataset load + digest + HTTP, a cold miss
+pays all of that plus the mine, and at this workload's thresholds the
+mine alone is several times the rest.
+"""
+
+import asyncio
+import io
+import json
+import os
+import pathlib
+import statistics
+import threading
+import time
+
+from repro import mine_recurring_patterns
+from repro.bench.reporting import format_table
+from repro.bench.workloads import quest_workload
+from repro.core.request import DatasetRef, MiningRequest
+from repro.patterns_io import save_patterns
+from repro.service import MiningService, ServiceClient
+from repro.timeseries.io import save_transactional_database
+
+SCALE = 0.05
+PERS = (360, 720, 1440)
+MIN_PS = 0.002
+WARM_REPEATS = 3
+#: The cache gate: the median warm (hit) request must complete at least
+#: this much faster than the median cold (mined) request.
+MIN_SPEEDUP = 2.0
+
+BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_service.json"
+
+
+def _serve_one(client: ServiceClient, request: MiningRequest):
+    """One full client interaction; returns (seconds, result body)."""
+    started = time.perf_counter()
+    job_id = client.submit(request)
+    status = client.wait(job_id, timeout=300, interval=0.01)
+    assert status["status"] == "done", status
+    result = client.result(job_id)
+    return time.perf_counter() - started, result
+
+
+def test_service_cache_speedup(record_artifact, tmp_path_factory):
+    data = tmp_path_factory.mktemp("service") / "quest.tsv"
+    base = quest_workload(SCALE)
+    save_transactional_database(base, str(data))
+    source = DatasetRef.file(str(data))
+    requests = [
+        MiningRequest(per=per, min_ps=MIN_PS, source=source)
+        for per in PERS
+    ]
+
+    service = MiningService(port=0, workers=1, cache_size=16)
+    ready = threading.Event()
+    state = {}
+
+    def run():
+        async def main():
+            state["loop"] = asyncio.get_running_loop()
+            state["stop"] = asyncio.Event()
+            await service.start()
+            ready.set()
+            await state["stop"].wait()
+            await service.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10), "service failed to start"
+    try:
+        client = ServiceClient(port=service.port)
+
+        cold_seconds, cold_results = [], {}
+        for request in requests:
+            seconds, result = _serve_one(client, request)
+            assert result["cache"] == "miss", result
+            cold_seconds.append(seconds)
+            cold_results[request.per] = result["patterns_tsv"]
+
+        warm_seconds = []
+        for _ in range(WARM_REPEATS):
+            for request in requests:
+                seconds, result = _serve_one(client, request)
+                assert result["cache"] == "hit", result
+                # Byte-identical to the cold answer — the precondition.
+                assert (
+                    result["patterns_tsv"] == cold_results[request.per]
+                ), f"warm hit diverged at per={request.per}"
+                warm_seconds.append(seconds)
+
+        # One derived request, checked against a fresh local mine.
+        _, derived = _serve_one(
+            client, requests[0].with_thresholds(min_rec=2)
+        )
+        assert derived["cache"] == "derived", derived
+        buffer = io.StringIO()
+        save_patterns(
+            mine_recurring_patterns(
+                base, PERS[0], MIN_PS, 2
+            ),
+            buffer,
+        )
+        assert derived["patterns_tsv"] == buffer.getvalue()
+
+        snapshot = service.registry.snapshot()
+    finally:
+        state["loop"].call_soon_threadsafe(state["stop"].set)
+        thread.join(30)
+
+    cold_median = statistics.median(cold_seconds)
+    warm_median = statistics.median(warm_seconds)
+    speedup = cold_median / warm_median
+
+    record_artifact(
+        "service_cache",
+        format_table(
+            ["path", "median seconds", "requests"],
+            [
+                ("cold (mined)", f"{cold_median:.4f}", len(cold_seconds)),
+                ("warm (cache hit)", f"{warm_median:.4f}",
+                 len(warm_seconds)),
+                ("speedup", f"{speedup:.2f}x", ""),
+            ],
+            title=(
+                f"Service result cache, quest scale={SCALE:g} "
+                f"({len(PERS)} per values, minPS={MIN_PS})"
+            ),
+        ),
+    )
+
+    payload = {
+        "schema": "repro-bench/v1",
+        "benchmark": "service_cache",
+        "created_unix": time.time(),
+        "params": {
+            "pers": list(PERS),
+            "min_ps": MIN_PS,
+            "scale": SCALE,
+            "warm_repeats": WARM_REPEATS,
+        },
+        "hardware": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": os.uname().sysname if hasattr(os, "uname") else "?",
+        },
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_median_seconds": cold_median,
+        "warm_median_seconds": warm_median,
+        "speedup": speedup,
+        "min_speedup_gate": MIN_SPEEDUP,
+        "service_metrics": snapshot,
+    }
+    BENCH_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"service cache gate failed: {speedup:.2f}x < {MIN_SPEEDUP}x "
+        f"(cold {cold_median:.3f}s, warm {warm_median:.3f}s)"
+    )

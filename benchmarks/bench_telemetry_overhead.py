@@ -108,7 +108,10 @@ def _mine_live(db, params):
 def _measure(db, params):
     times, results = _time_interleaved([
         lambda: mine_recurring_patterns(db, **params),
-        lambda: mine_recurring_patterns(db, **params, collect_stats=True),
+        lambda: mine_recurring_patterns(
+            db, **params,
+            observability=ObservabilityOptions(collect_stats=True),
+        ),
         lambda: _mine_live(db, params),
     ])
     plain, observed, live = results

@@ -30,8 +30,9 @@ from repro.core.engines import (
     get_engine,
     register_engine,
 )
-from repro.core.miner import mine_recurring_patterns
+from repro.core.miner import execute_request, mine_recurring_patterns
 from repro.core.options import ObservabilityOptions, ResilienceOptions
+from repro.core.request import DatasetRef, MiningRequest
 from repro.core.model import (
     MiningParameters,
     PeriodicInterval,
@@ -73,6 +74,9 @@ __all__ = [
     # Core mining
     "mine_recurring_patterns",
     "mine_recurring_patterns_naive",
+    "MiningRequest",
+    "DatasetRef",
+    "execute_request",
     "RPGrowth",
     "RPEclat",
     "ParallelMiner",

@@ -27,7 +27,12 @@ from repro.datasets.quest import QuestConfig, generate_quest
 from repro.datasets.twitter import TwitterConfig, generate_twitter
 from repro.timeseries.database import TransactionalDatabase
 
-__all__ = ["quest_workload", "clickstream_workload", "twitter_workload"]
+__all__ = [
+    "WORKLOADS",
+    "quest_workload",
+    "clickstream_workload",
+    "twitter_workload",
+]
 
 #: Default scale for benchmarks: ~10% of the paper's sizes.
 DEFAULT_SCALE = 0.1
@@ -121,3 +126,12 @@ def twitter_workload(
             seed=seed,
         )
     return generate_twitter(config)
+
+
+#: Name -> factory registry: the CLI's --dataset choices and the
+#: resolution table for ``DatasetRef(kind="workload")`` requests.
+WORKLOADS = {
+    "quest": quest_workload,
+    "clickstream": clickstream_workload,
+    "twitter": twitter_workload,
+}

@@ -1,0 +1,88 @@
+"""Command-line interface: ``repro-mine`` (or ``python -m repro.cli``).
+
+The CLI is a package of subcommand families, one module each:
+
+* :mod:`repro.cli.mine` — ``mine``, ``rules``, ``baseline``
+* :mod:`repro.cli.bench` — ``bench``, ``compare``, ``generate``, ``stats``
+* :mod:`repro.cli.sweep` — ``sweep``
+* :mod:`repro.cli.stream` — ``stream``
+* :mod:`repro.cli.shard` — ``shard``
+* :mod:`repro.cli.qa` — ``qa``
+* :mod:`repro.cli.trace` — ``trace``
+* :mod:`repro.cli.serve` — ``serve``, ``submit``, ``status``, ``fetch``
+
+Shared option groups (``--jobs``, ``--progress``, ``--profile``,
+``--log-level``, threshold parsing, file loading) live in
+:mod:`repro.cli._options`; every family registers its subparsers
+through a ``configure(commands)`` hook and attaches its handler with
+``set_defaults(handler=...)``, so :func:`main` is a thin
+parse-and-dispatch loop.
+
+Every long-running subcommand takes ``--progress``/``--no-progress``
+(default: progress is on only when stderr is a TTY) and the mining
+ones take ``--metrics-out`` for periodic ``repro-metrics/v1``
+snapshots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from typing import Optional, Sequence
+
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+from repro.cli import (  # noqa: E402  (import order mirrors the menu)
+    bench as _bench,
+    mine as _mine,
+    qa as _qa,
+    serve as _serve,
+    shard as _shard,
+    stream as _stream,
+    sweep as _sweep,
+    trace as _trace,
+)
+
+#: Subcommand families in the order their commands appear in --help.
+_FAMILIES = (
+    _mine, _bench, _sweep, _stream, _shard, _qa, _trace, _serve,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-mine`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mine",
+        description="Recurring pattern mining in time series (EDBT 2015).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    for family in _FAMILIES:
+        family.configure(commands)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "log_level", None):
+        logging.basicConfig(
+            level=getattr(logging, args.log_level.upper()),
+            stream=sys.stderr,
+            format="%(levelname)s %(name)s: %(message)s",
+        )
+    handler = getattr(args, "handler", None)
+    if handler is None:  # pragma: no cover - argparse enforces required
+        raise AssertionError(f"unhandled command {args.command!r}")
+    try:
+        return handler(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,245 @@
+"""The ``stream`` subcommand: sharded multi-tenant streaming."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli._options import _add_logging_flag, _load
+
+
+def configure(commands) -> None:
+    """Register the stream subparser."""
+    stream = commands.add_parser(
+        "stream",
+        help="feed events through the sharded streaming registry "
+        "(multi-tenant recurrence, checkpoint/restore; see "
+        "docs/streaming.md)",
+    )
+    stream.add_argument(
+        "--input",
+        default=None,
+        metavar="PATH",
+        help="event source: a database file, or '-' for stdin JSONL "
+        '(one {"stream": ..., "ts": ..., "items": [...]} object per '
+        "line)",
+    )
+    stream.add_argument(
+        "--format",
+        choices=("transactions", "events", "jsonl"),
+        default="transactions",
+        help="input format (default: transactions; '-' requires jsonl)",
+    )
+    stream.add_argument(
+        "--stream",
+        default="default",
+        metavar="KEY",
+        help="stream key for file inputs (JSONL lines carry their own; "
+        "default 'default')",
+    )
+    stream.add_argument(
+        "--per",
+        type=float,
+        default=None,
+        help="period threshold (omit with --calendar or --restore)",
+    )
+    stream.add_argument(
+        "--min-ps",
+        type=int,
+        default=None,
+        help="minimum periodic-support as an absolute count (streams "
+        "are unbounded, so fractions are not accepted here)",
+    )
+    stream.add_argument(
+        "--min-rec", type=int, default=1, help="minimum recurrence"
+    )
+    stream.add_argument(
+        "--calendar",
+        choices=("hour-of-day", "day-of-week"),
+        default=None,
+        help="calendar-anchored period instead of --per (minute "
+        "timestamps; see docs/streaming.md)",
+    )
+    stream.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hash partitions for stream keys (default 16, or the "
+        "checkpoint's count with --restore)",
+    )
+    stream.add_argument(
+        "--max-active",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on live monitors; least-recently-observed streams "
+        "are spilled and re-admitted exactly (default: unbounded)",
+    )
+    stream.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a repro-stream/v1 checkpoint after feeding",
+    )
+    stream.add_argument(
+        "--restore",
+        default=None,
+        metavar="PATH",
+        help="resume from a repro-stream/v1 checkpoint (thresholds "
+        "come from the checkpoint)",
+    )
+    stream.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a final repro-metrics/v1 snapshot of the "
+        "repro_stream_* gauges and counters",
+    )
+    stream.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="recurring items shown per stream in the summary "
+        "(default 5)",
+    )
+    stream.set_defaults(handler=_cmd_stream)
+    _add_logging_flag(stream)
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exceptions import DataFormatError, ParameterError
+    from repro.streaming import CalendarPeriod, ShardedMonitorRegistry
+
+    metrics = None
+    if args.metrics_out:
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    if args.restore:
+        if (
+            args.per is not None
+            or args.min_ps is not None
+            or args.calendar is not None
+        ):
+            raise ParameterError(
+                "--restore carries its own thresholds; drop "
+                "--per/--min-ps/--calendar"
+            )
+        registry = ShardedMonitorRegistry.restore(
+            args.restore,
+            shards=args.shards,
+            max_active=args.max_active,
+            metrics=metrics,
+        )
+        print(
+            f"restored {len(registry.streams())} stream(s) from "
+            f"{args.restore}",
+            file=sys.stderr,
+        )
+    else:
+        if args.min_ps is None:
+            raise ParameterError("--min-ps is required without --restore")
+        if (args.per is None) == (args.calendar is None):
+            raise ParameterError(
+                "exactly one of --per and --calendar is required "
+                "without --restore"
+            )
+        kwargs: dict = {}
+        if args.calendar is not None:
+            kwargs["calendar"] = CalendarPeriod(args.calendar)
+        else:
+            kwargs["per"] = args.per
+        registry = ShardedMonitorRegistry(
+            min_ps=args.min_ps,
+            min_rec=args.min_rec,
+            shards=16 if args.shards is None else args.shards,
+            max_active=args.max_active,
+            metrics=metrics,
+            **kwargs,
+        )
+
+    events = 0
+    if args.input is not None:
+        if args.format == "jsonl":
+            handle = (
+                sys.stdin if args.input == "-"
+                else open(args.input, "r", encoding="utf-8")
+            )
+            try:
+                for lineno, line in enumerate(handle, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        registry.observe(
+                            record.get("stream", args.stream),
+                            record["ts"],
+                            record["items"],
+                        )
+                    except (ValueError, KeyError, TypeError) as error:
+                        raise DataFormatError(
+                            f"bad event on line {lineno}: {error}"
+                        )
+                    events += 1
+            finally:
+                if handle is not sys.stdin:
+                    handle.close()
+        else:
+            if args.input == "-":
+                raise ParameterError(
+                    "reading from stdin requires --format jsonl"
+                )
+            database = _load(args.input, args.format)
+            try:
+                for ts, itemset in database:
+                    registry.observe(args.stream, ts, itemset)
+                    events += 1
+            except ValueError as error:
+                raise DataFormatError(str(error))
+
+    keys = registry.streams()
+    print(
+        f"fed {events} event(s) into {len(keys)} stream(s) "
+        f"across {registry.shards} shard(s) "
+        f"(active {registry.active_streams}, "
+        f"evicted {registry.evicted_streams})"
+    )
+    for key in keys:
+        monitor = registry.monitor(key)
+        recurring = monitor.recurring_items()
+        if registry.calendar is not None:
+            labels = [
+                f"{registry.calendar.label(slot)}:{item}"
+                for slot, item in recurring
+            ]
+        else:
+            labels = [str(item) for item in recurring]
+        shown = ", ".join(labels[: args.top]) if labels else "-"
+        extra = (
+            f" (+{len(labels) - args.top} more)"
+            if len(labels) > args.top
+            else ""
+        )
+        print(f"  {key}: {len(labels)} recurring: {shown}{extra}")
+
+    if args.checkpoint:
+        written = registry.checkpoint(args.checkpoint)
+        print(
+            f"checkpoint: {written} bytes -> {args.checkpoint}",
+            file=sys.stderr,
+        )
+    if args.metrics_out:
+        from repro.obs.report import TraceWriter
+
+        with TraceWriter(args.metrics_out) as writer:
+            writer.write_record(metrics.snapshot())
+        print(
+            f"metrics snapshot written to {args.metrics_out}",
+            file=sys.stderr,
+        )
+    return 0

@@ -1,0 +1,57 @@
+"""The ``trace`` subcommand: JSON-lines trace analysis."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli._options import _add_logging_flag
+
+
+def configure(commands) -> None:
+    """Register the trace subparser."""
+    trace = commands.add_parser(
+        "trace",
+        help="analyze a JSON-lines trace (span tree, phase "
+        "aggregates, critical path, A/B comparison)",
+    )
+    trace.add_argument(
+        "--input",
+        required=True,
+        metavar="PATH",
+        help="trace file: any mix of repro-run/v1, repro-sweep/v1, "
+        "repro-qa/v1 and repro-metrics/v1 lines",
+    )
+    trace.add_argument(
+        "--compare",
+        default=None,
+        metavar="PATH",
+        help="second trace; print a per-phase A/B table with percent "
+        "deltas instead of the single-trace report",
+    )
+    trace.set_defaults(handler=_cmd_trace)
+    _add_logging_flag(trace)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import (
+        analyze_trace,
+        render_analysis,
+        render_comparison,
+    )
+
+    try:
+        analysis = analyze_trace(args.input)
+        if args.compare:
+            baseline = analyze_trace(args.compare)
+            print(
+                render_comparison(
+                    analysis, baseline, label_a="A", label_b="B"
+                )
+            )
+        else:
+            print(render_analysis(analysis))
+    except ValueError as error:
+        print(f"error: malformed trace: {error}", file=sys.stderr)
+        return 1
+    return 0

@@ -11,10 +11,16 @@ Cross-cutting behaviour is configured through two options objects
 (:mod:`repro.core.options`): ``resilience=ResilienceOptions(...)`` for
 the parallel failure handling and
 ``observability=ObservabilityOptions(...)`` for telemetry.  The
-pre-existing flat keywords (``timeout=``, ``collect_stats=``, …) still
-work — they are mapped onto the objects with a
-:class:`DeprecationWarning`; mixing a flat keyword with its options
-object raises :class:`~repro.exceptions.ParameterError`.
+pre-PR-5 flat keywords (``timeout=``, ``collect_stats=``, …) completed
+their deprecation cycle and now raise
+:class:`~repro.exceptions.ParameterError` naming the replacement.
+
+Internally the façade is a thin constructor over the unified request
+object: it builds a validated
+:class:`~repro.core.request.MiningRequest` and hands it to
+:func:`execute_request`, the single executor the CLI, the sweep
+engine's cell scheduler, the shard pipeline and the service daemon all
+share.
 """
 
 from __future__ import annotations
@@ -25,7 +31,6 @@ from typing import List, Optional, Tuple, Union
 
 from repro._validation import Number
 from repro.core.engines import ENGINES, get_engine
-from repro.core.model import MiningParameters, RecurringPatternSet
 from repro.core.options import (
     UNSET,
     ObservabilityOptions,
@@ -33,6 +38,8 @@ from repro.core.options import (
     resolve_observability,
     resolve_resilience,
 )
+from repro.core.model import RecurringPatternSet
+from repro.core.request import MiningRequest
 from repro.exceptions import ParameterError
 from repro.obs.counters import MiningStats
 from repro.obs.progress import monitor_from_options
@@ -41,7 +48,12 @@ from repro.obs.spans import SpanCollector, span
 from repro.timeseries.database import TransactionalDatabase
 from repro.timeseries.events import EventSequence
 
-__all__ = ["mine_recurring_patterns", "ENGINES"]
+__all__ = [
+    "ENGINES",
+    "execute_request",
+    "mine_recurring_patterns",
+    "run_request",
+]
 
 Source = Union[EventSequence, TransactionalDatabase]
 
@@ -126,12 +138,13 @@ def mine_recurring_patterns(
         the telemetry knobs (``collect_stats``, ``trace``,
         ``track_memory``, ``dataset``).
     timeout, max_retries, fallback, fault_plan:
-        **Deprecated** flat spellings of the ``resilience`` fields;
-        mapped onto a :class:`ResilienceOptions` with a
-        :class:`DeprecationWarning`.  Mixing them with ``resilience=``
-        raises :class:`~repro.exceptions.ParameterError`.
+        **Removed** flat spellings of the ``resilience`` fields.  They
+        shipped one release of :class:`DeprecationWarning` (PR 5) and
+        now raise :class:`~repro.exceptions.ParameterError` naming the
+        options-object (or :class:`~repro.core.request.MiningRequest`)
+        replacement.
     collect_stats, trace, track_memory, dataset:
-        **Deprecated** flat spellings of the ``observability`` fields,
+        **Removed** flat spellings of the ``observability`` fields,
         handled the same way.
 
     Returns
@@ -161,20 +174,12 @@ def mine_recurring_patterns(
     >>> telemetry.stats.patterns_found
     8
     """
-    spec = get_engine(engine)
-    # Validate the threshold triple eagerly — the engines would reject
-    # the same values, but only after the transform span has run (and,
-    # for parallel runs, potentially inside a worker).  Constructing
-    # MiningParameters here means every bad parameter fails before any
-    # work starts, with the shared _validation.py messages.
-    MiningParameters(per=per, min_ps=min_ps, min_rec=min_rec)
-    jobs = _resolve_jobs(jobs, engine)
-    if shards is not None and max_events_in_memory is not None:
-        raise ParameterError(
-            "shards and max_events_in_memory are mutually exclusive — "
-            "one names a shard count, the other a per-shard bound"
-        )
-    sharded = shards is not None or max_events_in_memory is not None
+    # Engine first (its message names the registry), then the threshold
+    # triple — the engines would reject the same values, but only after
+    # the transform span has run (and, for parallel runs, potentially
+    # inside a worker).  MiningRequest construction validates everything
+    # eagerly with the shared _validation.py messages.
+    get_engine(engine)
     resilience = resolve_resilience(
         resilience,
         timeout=timeout,
@@ -189,6 +194,53 @@ def mine_recurring_patterns(
         track_memory=track_memory,
         dataset=dataset,
     )
+    request = MiningRequest(
+        per=per,
+        min_ps=min_ps,
+        min_rec=min_rec,
+        engine=engine,
+        jobs=jobs,
+        shards=shards,
+        max_events_in_memory=max_events_in_memory,
+        resilience=resilience,
+        observability=obs,
+    )
+    return execute_request(request, data)
+
+
+def execute_request(
+    request: MiningRequest,
+    data: Optional[Source] = None,
+) -> Union[
+    RecurringPatternSet, Tuple[RecurringPatternSet, MiningTelemetry]
+]:
+    """Execute one validated :class:`~repro.core.request.MiningRequest`.
+
+    This is the single dispatch every mining surface shares: the façade
+    builds a request from its keywords, the CLI builds one from its
+    flags, the sweep engine builds one per mined cell, and the service
+    daemon receives one over HTTP.  ``data`` supplies the database (or
+    event sequence) directly; when omitted, ``request.source`` is
+    loaded — a request with neither is unexecutable and raises
+    :class:`~repro.exceptions.ParameterError`.
+
+    The return contract is the façade's: the pattern set, or
+    ``(patterns, telemetry)`` when ``observability.collect_stats`` is
+    true.  When telemetry is collected, the ``repro-run/v1`` record
+    additionally carries the database's content ``dataset_digest`` —
+    the same digest the service result cache keys on.
+    """
+    if data is None:
+        if request.source is None:
+            raise ParameterError(
+                "request has no dataset: pass data to execute_request "
+                "or build the MiningRequest with source=DatasetRef(...)"
+            )
+        data = request.source.load()
+    per, min_ps, min_rec = request.per, request.min_ps, request.min_rec
+    engine, jobs = request.engine, request.jobs
+    resilience = request.resilience
+    obs = request.observability
     track = obs.track_memory
     if track and not obs.enabled:
         warnings.warn(
@@ -207,19 +259,14 @@ def mine_recurring_patterns(
 
     def _dispatch(database):
         """Direct or sharded mine: (result, stats, faults, report?)."""
-        if not sharded:
-            found, run_stats, fault_list = _run_engine(
-                database, per, min_ps, min_rec, engine, jobs, resilience,
-                monitor=monitor,
+        if not request.sharded:
+            found, run_stats, fault_list = run_request(
+                database, request, monitor=monitor
             )
             return found, run_stats, fault_list, None
-        from repro.shard.miner import mine_sharded_database
+        from repro.shard.miner import mine_sharded_request
 
-        return mine_sharded_database(
-            database, per, min_ps, min_rec, engine,
-            jobs=jobs, resilience=resilience, monitor=monitor,
-            shards=shards, max_transactions=max_events_in_memory,
-        )
+        return mine_sharded_request(database, request, monitor=monitor)
 
     try:
         if not obs.enabled:
@@ -253,10 +300,10 @@ def mine_recurring_patterns(
     finally:
         if owns_monitor:
             monitor.close()
-    params: dict = {"per": per, "min_ps": min_ps, "min_rec": min_rec}
+    params: dict = request.thresholds()
     if jobs > 1:
         params["jobs"] = jobs
-    extra: dict = {}
+    extra: dict = {"dataset_digest": database.digest()}
     if shard_report is not None:
         extra["shards"] = shard_report.as_dict()
     if fault_events:
@@ -265,6 +312,9 @@ def mine_recurring_patterns(
             "chunks_fallback": stats.chunks_fallback,
             "events": [event.as_dict() for event in fault_events],
         }
+    dataset_label = obs.dataset
+    if dataset_label is None and request.source is not None:
+        dataset_label = request.source.label
     telemetry = MiningTelemetry(
         engine=engine,
         params=params,
@@ -273,7 +323,7 @@ def mine_recurring_patterns(
         patterns_found=len(result),
         seconds=seconds,
         memory_peak_bytes=collector.memory_peak_bytes,
-        dataset=obs.dataset,
+        dataset=dataset_label,
         extra=extra,
     )
     if obs.trace is not None:
@@ -284,19 +334,31 @@ def mine_recurring_patterns(
     return result
 
 
-def _resolve_jobs(jobs: Optional[int], engine: str) -> int:
-    """Validate the ``jobs`` argument against the chosen engine."""
-    if jobs is None:
-        return 1
-    if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
-        raise ParameterError(f"jobs must be a positive int, got {jobs!r}")
-    if jobs > 1 and not get_engine(engine).supports_jobs:
-        raise ParameterError(
-            f"engine {engine!r} does not support jobs > 1; its registry "
-            "entry lacks the supports_jobs capability (the exhaustive "
-            "reference stays single-process by design)"
-        )
-    return jobs
+def run_request(
+    database: TransactionalDatabase,
+    request: MiningRequest,
+    *,
+    monitor=None,
+) -> Tuple[RecurringPatternSet, MiningStats, List]:
+    """One direct (non-sharded) engine run of a request.
+
+    The low-level sibling of :func:`execute_request`: no telemetry
+    packaging, no transform — the caller owns the database and the span
+    collector.  The sweep engine mines every grid cell through this,
+    so one :class:`~repro.core.request.MiningRequest` vocabulary covers
+    scheduled cells exactly like one-shot mines.  Returns ``(patterns,
+    stats, fault_events)``.
+    """
+    return _run_engine(
+        database,
+        request.per,
+        request.min_ps,
+        request.min_rec,
+        request.engine,
+        request.jobs,
+        request.resilience,
+        monitor=monitor,
+    )
 
 
 def _run_engine(

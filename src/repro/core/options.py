@@ -12,17 +12,15 @@ the CLI, the bench harness) shares the same vocabulary:
 * :class:`ObservabilityOptions` — what is measured and where it is
   written.
 
-The old flat keywords keep working on the façade through
-:func:`resolve_resilience` / :func:`resolve_observability`, which map
-them onto the objects and emit a :class:`DeprecationWarning`; passing
-a flat keyword *and* the corresponding options object raises
-:class:`~repro.exceptions.ParameterError` (the call would otherwise be
-ambiguous).
+The old flat keywords completed their deprecation cycle (warned since
+PR 5): :func:`resolve_resilience` / :func:`resolve_observability` now
+raise :class:`~repro.exceptions.ParameterError` naming the
+options-object (or :class:`~repro.core.request.MiningRequest`)
+replacement whenever a flat keyword is passed.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import IO, Dict, Optional, Union
 
@@ -214,13 +212,11 @@ def _resolve(
             f"pass either {kind}={factory.__name__}(...) or the flat "
             f"keyword(s) {sorted(passed)} — not both"
         )
-    warnings.warn(
-        f"the flat keyword(s) {sorted(passed)} are deprecated; pass "
-        f"{kind}={factory.__name__}(...) instead (see docs/api.md)",
-        DeprecationWarning,
-        stacklevel=stacklevel,
+    raise ParameterError(
+        f"the flat keyword(s) {sorted(passed)} were removed; pass "
+        f"{kind}={factory.__name__}(...) or build a MiningRequest "
+        f"(see docs/api.md)"
     )
-    return factory(**passed)
 
 
 def resolve_resilience(
@@ -229,12 +225,13 @@ def resolve_resilience(
     stacklevel: int = 4,
     **flat,
 ) -> ResilienceOptions:
-    """Merge deprecated flat resilience keywords into one options object.
+    """Reject removed flat resilience keywords, resolve the object.
 
     ``flat`` values equal to :data:`UNSET` count as "not passed".
-    Emits a :class:`DeprecationWarning` when any flat keyword is used;
-    raises :class:`~repro.exceptions.ParameterError` when both a flat
-    keyword and ``resilience`` are given.
+    Raises :class:`~repro.exceptions.ParameterError` naming the
+    options-object replacement when any flat keyword is used (the
+    deprecation cycle is over); returns ``resilience`` (or a default
+    instance) otherwise.
     """
     return _resolve(
         "resilience", resilience, flat, ResilienceOptions, stacklevel
@@ -247,7 +244,7 @@ def resolve_observability(
     stacklevel: int = 4,
     **flat,
 ) -> ObservabilityOptions:
-    """Merge deprecated flat observability keywords, as above."""
+    """Reject removed flat observability keywords, as above."""
     return _resolve(
         "observability", observability, flat, ObservabilityOptions,
         stacklevel,

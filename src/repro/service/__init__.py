@@ -1,0 +1,30 @@
+"""The mining service daemon and its thin client (``docs/service.md``).
+
+``repro-mine serve`` runs a :class:`MiningService`: an asyncio HTTP
+daemon that accepts :class:`~repro.core.request.MiningRequest` wire
+forms on ``POST /jobs``, mines them on a bounded worker pool through
+the same :func:`~repro.core.miner.execute_request` dispatch every
+other surface uses, and answers repeats from a content-addressed
+:class:`ResultCache` — including *derived* answers, where a cached
+looser-``min_rec`` cell in the same ``(dataset, engine, per, min_ps)``
+column is recurrence-filtered down, byte-identical to a fresh mine.
+:class:`ServiceClient` (behind ``repro-mine submit``/``status``/
+``fetch``) is the matching stdlib client.
+"""
+
+from repro.service.cache import CacheEntry, CacheOutcome, ResultCache
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import MiningService, run_server
+from repro.service.jobs import Job, JobStore
+
+__all__ = [
+    "CacheEntry",
+    "CacheOutcome",
+    "Job",
+    "JobStore",
+    "MiningService",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceError",
+    "run_server",
+]

@@ -1,0 +1,154 @@
+"""The content-addressed, sweep-backed result cache.
+
+Entries are keyed by :meth:`MiningRequest.cache_key` —
+``(dataset_digest, engine, per, min_ps, min_rec)`` — so a cached
+answer can never leak across datasets, engines or threshold points.
+The sweep engine's min_rec derivation theorem (``docs/api.md``) adds a
+second way to hit: within one *column* ``(dataset_digest, engine, per,
+min_ps)``, the patterns at a tighter (larger) ``min_rec`` are a pure
+recurrence filter of any looser cached cell, with identical support /
+recurrence / interval metadata.  :meth:`ResultCache.get` therefore
+serves a request from any cached column cell whose ``min_rec`` is at
+most the requested one — byte-identical to a fresh mine, a guarantee
+property-tested in ``tests/service/test_cache.py``.
+
+Eviction is LRU over exact entries; a derivation refreshes its base
+entry's recency (the base just proved itself useful).  The cache is
+thread-safe: the daemon's worker pool calls it from executor threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.model import RecurringPatternSet
+from repro.core.request import MiningRequest
+from repro.exceptions import ParameterError
+
+__all__ = ["CacheEntry", "CacheOutcome", "ResultCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached mine: the patterns plus their ``repro-run/v1`` record."""
+
+    patterns: RecurringPatternSet
+    record: Dict[str, object]
+
+
+@dataclass
+class CacheOutcome:
+    """What a lookup produced and how.
+
+    ``how`` is ``"hit"`` (exact key) or ``"derived"`` (recurrence
+    filter of a looser column cell); ``base_min_rec`` names the cached
+    cell that served a derivation.
+    """
+
+    patterns: RecurringPatternSet
+    record: Dict[str, object]
+    how: str
+    base_min_rec: Optional[int] = None
+
+
+class ResultCache:
+    """LRU result cache with min_rec column derivation."""
+
+    def __init__(self, max_entries: int = 64):
+        if isinstance(max_entries, bool) or not isinstance(
+            max_entries, int
+        ) or max_entries < 1:
+            raise ParameterError(
+                f"max_entries must be a positive int, got {max_entries!r}"
+            )
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.derived = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self):
+        """The cached exact keys, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    def get(
+        self, request: MiningRequest, dataset_digest: str
+    ) -> Optional[CacheOutcome]:
+        """Serve ``request`` from cache, exactly or by derivation."""
+        key = request.cache_key(dataset_digest)
+        column = request.column_key(dataset_digest)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return CacheOutcome(
+                    patterns=entry.patterns,
+                    record=entry.record,
+                    how="hit",
+                )
+            # The derivation theorem: any cached cell of the same
+            # column at a looser (smaller) min_rec can answer.  Prefer
+            # the tightest such base — it filters the least.
+            base_key: Optional[Tuple] = None
+            for candidate in self._entries:
+                if candidate[:4] != column:
+                    continue
+                if candidate[4] > request.min_rec:
+                    continue
+                if base_key is None or candidate[4] > base_key[4]:
+                    base_key = candidate
+            if base_key is None:
+                self.misses += 1
+                return None
+            base = self._entries[base_key]
+            self._entries.move_to_end(base_key)
+            self.derived += 1
+            derived = base.patterns.filter(
+                min_recurrence=request.min_rec
+            )
+            return CacheOutcome(
+                patterns=derived,
+                record=base.record,
+                how="derived",
+                base_min_rec=base_key[4],
+            )
+
+    def put(
+        self,
+        request: MiningRequest,
+        dataset_digest: str,
+        patterns: RecurringPatternSet,
+        record: Dict[str, object],
+    ) -> None:
+        """Cache a freshly mined cell, evicting LRU entries if full."""
+        key = request.cache_key(dataset_digest)
+        with self._lock:
+            self._entries[key] = CacheEntry(
+                patterns=patterns, record=dict(record)
+            )
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the ``/metrics`` endpoint and tests."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "derived": self.derived,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

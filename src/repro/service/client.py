@@ -1,0 +1,135 @@
+"""The thin stdlib client of the mining service.
+
+:class:`ServiceClient` speaks the daemon's four routes over
+``http.client`` — submit a :class:`~repro.core.request.MiningRequest`,
+poll it, fetch its result, scrape the metrics.  It is what the
+``repro-mine submit``/``status``/``fetch`` subcommands and the service
+tests use; anything that can POST JSON works just as well.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.core.request import MiningRequest
+from repro.exceptions import ReproError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The service refused or could not serve a request.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code, or ``None`` for transport failures.
+    """
+
+    def __init__(self, message: str, *, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Blocking JSON client for one service endpoint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        timeout: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload=None
+    ) -> Tuple[int, bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = (
+                json.dumps(payload).encode("utf-8")
+                if payload is not None else None
+            )
+            headers = (
+                {"Content-Type": "application/json"} if body else {}
+            )
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        except OSError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port} — "
+                f"{error} (is `repro-mine serve` running?)"
+            ) from error
+        finally:
+            connection.close()
+
+    def _json(
+        self, method: str, path: str, payload=None, ok=(200, 202)
+    ) -> Dict[str, object]:
+        status, data = self._request(method, path, payload)
+        try:
+            parsed = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            parsed = {"error": data.decode("utf-8", "replace").strip()}
+        if status not in ok:
+            detail = parsed.get("error") if isinstance(parsed, dict) else None
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {status}"
+                + (f": {detail}" if detail else ""),
+                status=status,
+            )
+        return parsed
+
+    # -- the API -------------------------------------------------------
+    def submit(self, request: MiningRequest) -> str:
+        """POST the request; returns the job id."""
+        accepted = self._json("POST", "/jobs", request.to_dict())
+        return accepted["id"]
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """The job's current status body."""
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """The finished job's result body (patterns as TSV)."""
+        return self._json("GET", f"/jobs/{job_id}/result")
+
+    def metrics(self) -> str:
+        """The Prometheus exposition text of ``GET /metrics``."""
+        status, data = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(
+                f"GET /metrics failed with HTTP {status}", status=status
+            )
+        return data.decode("utf-8")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        interval: float = 0.05,
+    ) -> Dict[str, object]:
+        """Poll until the job finishes (or the deadline passes).
+
+        Returns the last status body either way; callers distinguish a
+        timeout by ``status`` still being ``queued``/``running``.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["status"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                return status
+            time.sleep(min(interval, max(deadline - time.monotonic(), 0.0)))

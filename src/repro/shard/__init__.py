@@ -27,6 +27,8 @@ from repro.shard.miner import (
     ShardRunReport,
     mine_sharded_database,
     mine_sharded_file,
+    mine_sharded_file_request,
+    mine_sharded_request,
 )
 from repro.shard.planner import ShardPlan, ShardPlanner, plan_with_cuts
 
@@ -42,6 +44,8 @@ __all__ = [
     "ShardRunReport",
     "mine_sharded_database",
     "mine_sharded_file",
+    "mine_sharded_file_request",
+    "mine_sharded_request",
     "ShardPlan",
     "ShardPlanner",
     "plan_with_cuts",

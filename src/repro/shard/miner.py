@@ -72,6 +72,8 @@ __all__ = [
     "ShardRunReport",
     "mine_sharded_database",
     "mine_sharded_file",
+    "mine_sharded_file_request",
+    "mine_sharded_request",
 ]
 
 #: Default per-shard transaction bound for the file-based path.
@@ -159,6 +161,70 @@ def mine_sharded_database(
     )
 
 
+def mine_sharded_request(
+    database: TransactionalDatabase,
+    request,
+    *,
+    monitor=None,
+    cuts: Optional[Sequence[float]] = None,
+) -> ShardedOutcome:
+    """Mine an in-memory database as described by a ``MiningRequest``.
+
+    The request-object spelling of :func:`mine_sharded_database`:
+    thresholds, engine, jobs, resilience and the shard plan all come
+    from one :class:`~repro.core.request.MiningRequest`.  ``cuts``
+    overrides the plan with explicit boundaries (the QA relations'
+    hook); otherwise exactly one of ``request.shards`` /
+    ``request.max_events_in_memory`` must be set.
+    """
+    return mine_sharded_database(
+        database,
+        request.per,
+        request.min_ps,
+        request.min_rec,
+        request.engine,
+        jobs=request.jobs,
+        resilience=request.resilience,
+        monitor=monitor,
+        shards=None if cuts is not None else request.shards,
+        max_transactions=(
+            None if cuts is not None else request.max_events_in_memory
+        ),
+        cuts=cuts,
+    )
+
+
+def mine_sharded_file_request(
+    source: PathOrFile,
+    request,
+    *,
+    monitor=None,
+    use_mmap: bool = False,
+) -> ShardedOutcome:
+    """Mine a time-sorted file as described by a ``MiningRequest``.
+
+    The request-object spelling of :func:`mine_sharded_file`; the
+    per-shard bound comes from ``request.max_events_in_memory``
+    (falling back to :data:`DEFAULT_MAX_TRANSACTIONS`).
+    """
+    return mine_sharded_file(
+        source,
+        request.per,
+        request.min_ps,
+        request.min_rec,
+        request.engine,
+        jobs=request.jobs,
+        resilience=request.resilience,
+        monitor=monitor,
+        max_transactions=(
+            request.max_events_in_memory
+            if request.max_events_in_memory is not None
+            else DEFAULT_MAX_TRANSACTIONS
+        ),
+        use_mmap=use_mmap,
+    )
+
+
 def mine_sharded_file(
     source: PathOrFile,
     per: Number,
@@ -230,10 +296,11 @@ def _mine_sharded(
     monitor,
     shard_count_hint: Optional[int] = None,
 ) -> ShardedOutcome:
-    from repro.core.miner import _resolve_jobs, _run_engine
+    from repro.core.miner import _run_engine
+    from repro.core.request import resolve_jobs
 
     MiningParameters(per=per, min_ps=min_ps, min_rec=min_rec)
-    jobs = _resolve_jobs(jobs, engine)
+    jobs = resolve_jobs(jobs, engine)
     if total == 0:
         empty = ShardRunReport(0, (), (), 0, 0, MergeStats(0, 0, 0))
         return RecurringPatternSet(), MiningStats(), [], empty

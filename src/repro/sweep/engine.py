@@ -45,7 +45,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro._validation import Number
-from repro.core.miner import _as_database, _run_engine
+from repro.core.miner import _as_database, run_request
 from repro.core.model import RecurringPatternSet
 from repro.core.options import ObservabilityOptions
 from repro.obs.counters import MiningStats
@@ -346,17 +346,15 @@ def _mine_cell(
     monitor=None,
 ) -> None:
     """Mine one cell (reuse layer 3), keeping the fastest execution."""
-    per, min_ps, min_rec = key
     plan = result.plan
+    request = plan.cell_request(key)
     best_root: Optional[Span] = None
     best: Optional[Tuple[RecurringPatternSet, MiningStats]] = None
     for _ in range(plan.repeats):
         collector = SpanCollector(track_memory=track_memory)
         with collector, span("cell"):
-            found, stats, _faults = _run_engine(
-                database, per, min_ps, min_rec,
-                plan.engine, plan.jobs, plan.resilience,
-                monitor=monitor,
+            found, stats, _faults = run_request(
+                database, request, monitor=monitor,
             )
         root = collector.roots[0]
         _fold_memory(result, collector)

@@ -162,3 +162,32 @@ class SweepPlan:
         return (
             len(self.pers) * len(self.min_ps_values) * len(self.min_recs)
         )
+
+    # ------------------------------------------------------------------
+    # MiningRequest view
+    # ------------------------------------------------------------------
+    def cell_request(self, key: GridKey) -> "MiningRequest":
+        """One cell as the unified :class:`~repro.core.request.MiningRequest`.
+
+        The sweep engine executes mined cells through exactly this
+        request (``repro.core.miner.run_request``), so a sweep cell and
+        an independent façade call are the same code path — the basis
+        of the byte-identity guarantee.
+
+        Examples
+        --------
+        >>> plan = SweepPlan(pers=(2,), min_ps_values=(3,), min_recs=(1,))
+        >>> plan.cell_request((2, 3, 1)).cache_key("d1")
+        ('d1', 'rp-growth', 2, 3, 1)
+        """
+        from repro.core.request import MiningRequest
+
+        per, min_ps, min_rec = key
+        return MiningRequest(
+            per=per,
+            min_ps=min_ps,
+            min_rec=min_rec,
+            engine=self.engine,
+            jobs=self.jobs,
+            resilience=self.resilience,
+        )

@@ -73,7 +73,7 @@ class TransactionalDatabase:
     ['a', 'b', 'g']
     """
 
-    __slots__ = ("_transactions", "_item_index", "_columnar")
+    __slots__ = ("_transactions", "_item_index", "_columnar", "_digest")
 
     def __init__(self, transactions: Iterable[Tuple[float, Iterable[Item]]] = ()):
         merged: Dict[float, set] = {}
@@ -101,6 +101,7 @@ class TransactionalDatabase:
         )
         self._item_index: Optional[Dict[Item, Tuple[float, ...]]] = None
         self._columnar = None
+        self._digest: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -191,6 +192,51 @@ class TransactionalDatabase:
 
             self._columnar = ColumnarTDB.from_database(self)
         return self._columnar
+
+    def digest(self) -> str:
+        """Stable content hash of the database (hex SHA-256, 64 chars).
+
+        The hash covers the canonical line encoding the TSV writer
+        uses — one ``<ts>\\t<item> <item> ...`` line per transaction in
+        timestamp order, items in sorted-by-repr order — except that
+        items are ``repr``-escaped so the digest is defined even for
+        items the TSV format itself refuses (whitespace, tabs).  Two
+        databases have equal digests iff they compare equal, because
+        the constructor already canonicalises (sorts, merges, drops
+        empties) and the encoding is injective on that canonical form.
+
+        Built on first use and cached like :meth:`columnar`; the
+        database is immutable so the cache never goes stale.  This is
+        the ``dataset_digest`` of the service result cache and of
+        ``repro-run/v1`` records.
+
+        Examples
+        --------
+        >>> a = TransactionalDatabase([(1, "ab"), (2, "a")])
+        >>> b = TransactionalDatabase([(2, "a"), (1, "ba")])
+        >>> a.digest() == b.digest()
+        True
+        >>> len(a.digest())
+        64
+        """
+        if self._digest is None:
+            import hashlib
+
+            hasher = hashlib.sha256()
+            for ts, itemset in self._transactions:
+                # int-valued floats print the way the TSV writer prints
+                # them, so 3 and 3.0 (equal timestamps) hash equally.
+                if isinstance(ts, float) and ts.is_integer():
+                    ts_text = str(int(ts))
+                else:
+                    ts_text = repr(ts)
+                line = ts_text + "\t" + " ".join(
+                    sorted(repr(item) for item in itemset)
+                )
+                hasher.update(line.encode("utf-8"))
+                hasher.update(b"\n")
+            self._digest = hasher.hexdigest()
+        return self._digest
 
     def timestamps_of(self, pattern: Iterable[Item]) -> Tuple[float, ...]:
         """``TS^X``: ordered timestamps of transactions containing ``pattern``.

@@ -15,6 +15,7 @@ the paper's running example (Table 2) the counters must agree:
 import pytest
 
 from repro.core.miner import ENGINES, mine_recurring_patterns
+from repro.core.options import ObservabilityOptions
 from repro.datasets import paper_running_example
 
 PRUNING_ENGINES = (
@@ -29,7 +30,7 @@ def per_engine_runs():
     for engine in ENGINES:
         found, telemetry = mine_recurring_patterns(
             database, per=2, min_ps=3, min_rec=2, engine=engine,
-            collect_stats=True,
+            observability=ObservabilityOptions(collect_stats=True),
         )
         runs[engine] = (found, telemetry)
     return runs

@@ -1,4 +1,4 @@
-"""Options-object façade: objects, deprecation shim, conflict rules."""
+"""Options-object façade: objects, removed-keyword errors, conflicts."""
 
 import warnings
 
@@ -71,10 +71,16 @@ class TestResolveShims:
         options = ResilienceOptions(timeout=9.0)
         assert resolve_resilience(options) is options
 
-    def test_flat_keyword_warns_and_maps(self):
-        with pytest.warns(DeprecationWarning, match="timeout"):
-            options = resolve_resilience(None, timeout=9.0)
-        assert options == ResilienceOptions(timeout=9.0)
+    def test_flat_keyword_raises_naming_replacement(self):
+        with pytest.raises(
+            ParameterError,
+            match=r"'timeout'.*removed.*ResilienceOptions|removed.*'timeout'",
+        ):
+            resolve_resilience(None, timeout=9.0)
+
+    def test_flat_keyword_error_points_at_mining_request(self):
+        with pytest.raises(ParameterError, match="MiningRequest"):
+            resolve_observability(None, collect_stats=True)
 
     def test_unset_flat_keyword_does_not_warn(self):
         with warnings.catch_warnings():
@@ -101,13 +107,17 @@ class TestFacadeIntegration:
         assert len(found) == 8
         assert telemetry.stats.patterns_found == 8
 
-    def test_flat_kwargs_still_work_with_deprecation(self):
-        with pytest.warns(DeprecationWarning, match="collect_stats"):
-            found, telemetry = mine_recurring_patterns(
+    def test_flat_kwargs_raise_parameter_error(self):
+        with pytest.raises(ParameterError, match="collect_stats"):
+            mine_recurring_patterns(
                 paper_running_example(), per=2, min_ps=3, min_rec=2,
                 collect_stats=True,
             )
-        assert len(found) == 8
+        with pytest.raises(ParameterError, match="timeout"):
+            mine_recurring_patterns(
+                paper_running_example(), per=2, min_ps=3, min_rec=2,
+                timeout=5.0,
+            )
 
     def test_flat_and_object_mix_raises(self):
         with pytest.raises(ParameterError, match="not both"):

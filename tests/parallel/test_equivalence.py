@@ -15,6 +15,7 @@ planted workload (known ground truth) and noise-corrupted variants
 import pytest
 
 from repro.core.miner import mine_recurring_patterns
+from repro.core.options import ObservabilityOptions
 from repro.datasets import paper_running_example
 from repro.datasets.noise import apply_dropout, apply_jitter
 from repro.datasets.planted import generate_planted_workload
@@ -45,11 +46,12 @@ DATASETS = _datasets()
 )
 @pytest.mark.parametrize("engine", PARALLEL_ENGINES)
 def test_parallel_equals_serial(engine, name, database, params):
+    obs = ObservabilityOptions(collect_stats=True)
     serial, serial_telemetry = mine_recurring_patterns(
-        database, engine=engine, collect_stats=True, **params
+        database, engine=engine, observability=obs, **params
     )
     parallel, parallel_telemetry = mine_recurring_patterns(
-        database, engine=engine, jobs=JOBS, collect_stats=True, **params
+        database, engine=engine, jobs=JOBS, observability=obs, **params
     )
     assert parallel == serial
     # Pattern sets compare metadata too, but be explicit about the

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.miner import mine_recurring_patterns
+from repro.core.options import ObservabilityOptions
 from repro.core.rp_growth import RPGrowth
 from repro.datasets import paper_running_example
 from repro.exceptions import ParameterError
@@ -107,7 +108,7 @@ class TestMergedTelemetry:
     def test_trace_record_validates_with_jobs(self):
         _, telemetry = mine_recurring_patterns(
             paper_running_example(), per=2, min_ps=3, min_rec=2,
-            jobs=2, collect_stats=True,
+            jobs=2, observability=ObservabilityOptions(collect_stats=True),
         )
         assert isinstance(telemetry, MiningTelemetry)
         record = telemetry.as_run_record()
@@ -118,6 +119,6 @@ class TestMergedTelemetry:
     def test_serial_trace_record_has_no_jobs_key(self):
         _, telemetry = mine_recurring_patterns(
             paper_running_example(), per=2, min_ps=3, min_rec=2,
-            collect_stats=True,
+            observability=ObservabilityOptions(collect_stats=True),
         )
         assert "jobs" not in telemetry.as_run_record()["params"]

@@ -23,6 +23,7 @@ those assertions are a tight range rather than an equality.
 import pytest
 
 from repro.core.miner import mine_recurring_patterns
+from repro.core.options import ObservabilityOptions, ResilienceOptions
 from repro.datasets import paper_running_example
 from repro.exceptions import ChunkFailedError, ParameterError
 from repro.obs.report import validate_run_record
@@ -215,8 +216,10 @@ def test_retry_spans_graft_under_mine():
     database = _single_chunk_db("rp-eclat")
     _, telemetry = mine_recurring_patterns(
         database, engine="rp-eclat", **PARAMS, jobs=2,
-        fault_plan=FaultPlan.single("poison", chunk=0),
-        collect_stats=True,
+        resilience=ResilienceOptions(
+            fault_plan=FaultPlan.single("poison", chunk=0)
+        ),
+        observability=ObservabilityOptions(collect_stats=True),
     )
     mine_spans = [
         item
@@ -234,8 +237,10 @@ def test_run_record_carries_faults_section():
     database = _single_chunk_db("rp-eclat")
     _, telemetry = mine_recurring_patterns(
         database, engine="rp-eclat", **PARAMS, jobs=2,
-        fault_plan=FaultPlan.single("poison", chunk=0),
-        collect_stats=True,
+        resilience=ResilienceOptions(
+            fault_plan=FaultPlan.single("poison", chunk=0)
+        ),
+        observability=ObservabilityOptions(collect_stats=True),
     )
     record = telemetry.as_run_record()
     validate_run_record(record)
@@ -256,7 +261,8 @@ def test_run_record_carries_faults_section():
 def test_clean_run_has_no_faults_section():
     database = _single_chunk_db("rp-eclat")
     _, telemetry = mine_recurring_patterns(
-        database, engine="rp-eclat", **PARAMS, jobs=2, collect_stats=True,
+        database, engine="rp-eclat", **PARAMS, jobs=2,
+        observability=ObservabilityOptions(collect_stats=True),
     )
     record = telemetry.as_run_record()
     validate_run_record(record)

@@ -1,0 +1,309 @@
+"""End-to-end tests of the mining service daemon.
+
+Each test boots a real :class:`~repro.service.MiningService` on an
+ephemeral port (a dedicated thread runs the asyncio loop) and drives it
+with the blocking :class:`~repro.service.ServiceClient` — exactly the
+path ``repro-mine submit/status/fetch`` takes.
+"""
+
+import asyncio
+import contextlib
+import io
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import mine_recurring_patterns
+from repro.core.request import DatasetRef, MiningRequest
+from repro.obs.report import iter_trace, validate_run_record
+from repro.patterns_io import load_patterns, save_patterns
+from repro.service import MiningService, ServiceClient, ServiceError
+
+
+@contextlib.contextmanager
+def running_service(**kwargs):
+    """A live service on an ephemeral port, stopped (drained) on exit."""
+    service = MiningService(port=0, **kwargs)
+    ready = threading.Event()
+    state = {}
+
+    def run():
+        async def main():
+            state["loop"] = asyncio.get_running_loop()
+            state["stop"] = asyncio.Event()
+            await service.start()
+            ready.set()
+            await state["stop"].wait()
+            await service.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10), "service failed to start"
+    try:
+        yield service
+    finally:
+        state["loop"].call_soon_threadsafe(state["stop"].set)
+        thread.join(30)
+
+
+def _tsv(patterns) -> str:
+    buffer = io.StringIO()
+    save_patterns(patterns, buffer)
+    return buffer.getvalue()
+
+
+@pytest.fixture
+def example_ref(running_example):
+    return DatasetRef.from_database(running_example)
+
+
+# ----------------------------------------------------------------------
+# The happy path
+# ----------------------------------------------------------------------
+def test_submit_poll_fetch_round_trip(running_example, example_ref):
+    with running_service() as service:
+        client = ServiceClient(port=service.port)
+        job_id = client.submit(
+            MiningRequest(per=2, min_ps=3, min_rec=2, source=example_ref)
+        )
+        assert job_id == "job-000001"
+        status = client.wait(job_id, timeout=60)
+        assert status["status"] == "done"
+        assert status["cache"] == "miss"
+        assert status["seconds"] > 0
+        result = client.result(job_id)
+        served = load_patterns(io.StringIO(result["patterns_tsv"]))
+        direct = mine_recurring_patterns(
+            running_example, per=2, min_ps=3, min_rec=2
+        )
+        assert served == direct
+        assert result["patterns_found"] == len(direct) == 8
+
+
+def test_cache_miss_then_hit_then_derived(running_example, example_ref):
+    with running_service() as service:
+        client = ServiceClient(port=service.port)
+        loose = MiningRequest(per=2, min_ps=3, min_rec=1, source=example_ref)
+        first = client.submit(loose)
+        client.wait(first, timeout=60)
+        second = client.submit(loose)
+        client.wait(second, timeout=60)
+        tight = MiningRequest(per=2, min_ps=3, min_rec=2, source=example_ref)
+        third = client.submit(tight)
+        client.wait(third, timeout=60)
+
+        assert client.result(first)["cache"] == "miss"
+        assert client.result(second)["cache"] == "hit"
+        result = client.result(third)
+        assert result["cache"] == "derived"
+        # The derived answer is byte-identical to a fresh mine.
+        fresh = mine_recurring_patterns(
+            running_example, per=2, min_ps=3, min_rec=2
+        )
+        assert result["patterns_tsv"] == _tsv(fresh)
+        # And the hit returned the exact bytes of the first answer.
+        assert (
+            client.result(second)["patterns_tsv"]
+            == client.result(first)["patterns_tsv"]
+        )
+
+        metrics = client.metrics()
+        assert "repro_service_jobs_submitted_total 3" in metrics
+        assert "repro_service_cache_miss_total 1" in metrics
+        assert "repro_service_cache_hit_total 1" in metrics
+        assert "repro_service_cache_derived_total 1" in metrics
+        assert (
+            'repro_service_jobs_served_total{result="done"} 3' in metrics
+        )
+
+
+def test_workload_source_needs_no_files(running_example):
+    del running_example
+    with running_service() as service:
+        client = ServiceClient(port=service.port)
+        job_id = client.submit(
+            MiningRequest(
+                per=2,
+                min_ps=2,
+                source=DatasetRef.named_workload(
+                    "quest", scale=0.01, seed=1
+                ),
+            )
+        )
+        status = client.wait(job_id, timeout=120)
+        assert status["status"] == "done", status
+
+
+# ----------------------------------------------------------------------
+# Concurrency
+# ----------------------------------------------------------------------
+def test_concurrent_submissions_all_complete(running_example, example_ref):
+    with running_service(workers=2) as service:
+        client = ServiceClient(port=service.port)
+        # Prime the column so the concurrent wave is served from cache.
+        primer = client.submit(
+            MiningRequest(per=2, min_ps=3, min_rec=1, source=example_ref)
+        )
+        assert client.wait(primer, timeout=60)["status"] == "done"
+
+        def one(min_rec: int) -> str:
+            job_id = client.submit(
+                MiningRequest(
+                    per=2, min_ps=3, min_rec=min_rec, source=example_ref
+                )
+            )
+            status = client.wait(job_id, timeout=60)
+            assert status["status"] == "done", status
+            return client.result(job_id)["patterns_tsv"]
+
+        min_recs = [1, 2, 3, 1, 2, 3, 4, 1]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            served = list(pool.map(one, min_recs))
+        for min_rec, tsv in zip(min_recs, served):
+            fresh = mine_recurring_patterns(
+                running_example, per=2, min_ps=3, min_rec=min_rec
+            )
+            assert tsv == _tsv(fresh), f"min_rec={min_rec} diverged"
+        # Every one of the 8 was answered from the primed cell.
+        stats = service.cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] + stats["derived"] == len(min_recs)
+
+
+# ----------------------------------------------------------------------
+# Eviction, failures, protocol errors
+# ----------------------------------------------------------------------
+def test_eviction_surfaces_in_metrics(example_ref):
+    with running_service(cache_size=1) as service:
+        client = ServiceClient(port=service.port)
+        for per in (1, 2):
+            job_id = client.submit(
+                MiningRequest(per=per, min_ps=3, source=example_ref)
+            )
+            assert client.wait(job_id, timeout=60)["status"] == "done"
+        assert service.cache.stats()["evictions"] == 1
+        assert (
+            "repro_service_cache_evictions_total 1" in client.metrics()
+        )
+
+
+def test_failed_job_surfaces_its_error(tmp_path):
+    with running_service() as service:
+        client = ServiceClient(port=service.port)
+        job_id = client.submit(
+            MiningRequest(
+                per=2,
+                min_ps=3,
+                source=DatasetRef.file(str(tmp_path / "missing.tsv")),
+            )
+        )
+        status = client.wait(job_id, timeout=60)
+        assert status["status"] == "failed"
+        assert "missing.tsv" in status["error"]
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(job_id)
+        assert excinfo.value.status == 409
+        assert (
+            'repro_service_jobs_served_total{result="failed"} 1'
+            in client.metrics()
+        )
+
+
+def test_protocol_errors(example_ref):
+    with running_service() as service:
+        client = ServiceClient(port=service.port)
+        # Unknown job: 404 from both routes.
+        for path in ("/jobs/nope", "/jobs/nope/result"):
+            status, _ = client._request("GET", path)
+            assert status == 404
+        # Invalid request bodies: 400 with the validation message.
+        with pytest.raises(ServiceError) as excinfo:
+            client._json("POST", "/jobs", {"per": 2})
+        assert excinfo.value.status == 400
+        assert "min_ps" in str(excinfo.value)
+        with pytest.raises(ServiceError) as excinfo:
+            client._json("POST", "/jobs", {"per": 2, "min_ps": 3, "x": 1})
+        assert excinfo.value.status == 400
+        # A request without a source cannot be served.
+        with pytest.raises(ServiceError, match="source"):
+            client.submit(MiningRequest(per=2, min_ps=3))
+        # Wrong methods.
+        assert client._request("GET", "/jobs")[0] == 405
+        # Health endpoint.
+        health = client._json("GET", "/healthz")
+        assert health["status"] == "ok"
+        del example_ref
+
+
+def test_unreachable_service_raises_service_error():
+    client = ServiceClient(port=1)  # nothing listens there
+    with pytest.raises(ServiceError, match="repro-mine serve"):
+        client.status("job-000001")
+
+
+# ----------------------------------------------------------------------
+# Telemetry
+# ----------------------------------------------------------------------
+def test_every_served_job_emits_a_valid_run_record(
+    tmp_path, example_ref
+):
+    trace_path = tmp_path / "service.jsonl"
+    with running_service(trace=str(trace_path)) as service:
+        client = ServiceClient(port=service.port)
+        loose = MiningRequest(per=2, min_ps=3, min_rec=1, source=example_ref)
+        for request in (loose, loose, loose.with_thresholds(min_rec=2)):
+            job_id = client.submit(request)
+            assert client.wait(job_id, timeout=60)["status"] == "done"
+    records = [r for r in iter_trace(str(trace_path)) if r.get("kind") == "run"]
+    assert [r["cache"] for r in records] == ["miss", "hit", "derived"]
+    digests = set()
+    for record in records:
+        validate_run_record(record)
+        digests.add(record["dataset_digest"])
+    assert len(digests) == 1  # all three served the same content
+    assert records[2]["params"]["min_rec"] == 2
+    assert records[2]["cache_base_min_rec"] == 1
+
+
+# ----------------------------------------------------------------------
+# The thin CLI client against a live daemon
+# ----------------------------------------------------------------------
+def test_cli_submit_status_fetch(
+    tmp_path, running_example, capsys
+):
+    from repro.cli import main
+    from repro.timeseries.io import save_transactional_database
+
+    data = tmp_path / "example.tsv"
+    save_transactional_database(running_example, str(data))
+    with running_service() as service:
+        port = ["--port", str(service.port)]
+        assert main(
+            ["submit", *port, "--input", str(data),
+             "--per", "2", "--min-ps", "3", "--min-rec", "2",
+             "--wait", "--timeout", "60"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "8 recurring patterns" in out
+        assert "cache: miss" in out
+
+        assert main(["status", *port, "--job", "job-000001"]) == 0
+        assert "job-000001: done" in capsys.readouterr().out
+
+        saved = tmp_path / "patterns.tsv"
+        assert main(
+            ["fetch", *port, "--job", "job-000001",
+             "--save-patterns", str(saved)]
+        ) == 0
+        capsys.readouterr()
+        reloaded = load_patterns(str(saved))
+        assert reloaded == mine_recurring_patterns(
+            running_example, per=2, min_ps=3, min_rec=2
+        )
+
+        # Unknown job id is a clean CLI error, not a traceback.
+        assert main(["status", *port, "--job", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
